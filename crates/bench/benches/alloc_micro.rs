@@ -1,0 +1,73 @@
+//! Criterion version of the Section VII allocation micro-benchmark:
+//! buffer-manager allocation latency vs. the raw allocator, with ample and
+//! with full memory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rexa_buffer::{BufferManager, BufferManagerConfig};
+use rexa_storage::DatabaseFile;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const PAGE: usize = 64 << 10;
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_micro");
+    g.sample_size(20);
+
+    g.bench_function("raw_allocator_small", |b| {
+        let layout = std::alloc::Layout::from_size_align(PAGE, 64).unwrap();
+        b.iter(|| unsafe {
+            let p = std::alloc::alloc(layout);
+            black_box(p);
+            std::alloc::dealloc(p, layout);
+        })
+    });
+
+    let dir = rexa_storage::scratch_dir("calloc").unwrap();
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(256 << 20)
+            .page_size(PAGE)
+            .temp_dir(dir.join("tmp")),
+    )
+    .unwrap();
+    g.bench_function("buffer_manager_small_ample", |b| {
+        b.iter(|| {
+            let (h, p) = mgr.allocate_page().unwrap();
+            black_box(&p);
+            drop(p);
+            drop(h);
+        })
+    });
+
+    // Fill memory with cached persistent pages; every allocation must evict
+    // one (free) and reuses its buffer.
+    let db = Arc::new(DatabaseFile::create(&dir.join("fill.db"), PAGE).unwrap());
+    let filler = vec![0xAB; PAGE];
+    let handles: Vec<_> = (0..(256 << 20) / PAGE + 16)
+        .map(|_| {
+            let id = db.append_block(&filler).unwrap();
+            mgr.register_persistent(&db, id)
+        })
+        .collect();
+    for h in &handles {
+        if mgr.pin(h).is_err() {
+            break;
+        }
+    }
+    g.bench_function("buffer_manager_small_full_memory", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let (h, p) = mgr.allocate_page().unwrap();
+                black_box(&p);
+                drop(p);
+                h // kept alive by criterion's drop batch: pool stays full
+            },
+            criterion::BatchSize::NumIterations(1024),
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Page-layout micro-benchmarks (Figure 2's design claims):
+//! scatter (column→row while partitioning), gather (row→column),
+//! and the spill→reload→pointer-recomputation cycle vs. re-pinning pages
+//! that never moved.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rexa_buffer::{BufferManager, BufferManagerConfig};
+use rexa_exec::{hashing, LogicalType, Vector};
+use rexa_layout::{TupleDataCollection, TupleDataLayout};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 100_000;
+const PAGE: usize = 64 << 10;
+
+fn columns() -> (Vector, Vector) {
+    let keys: Vec<i64> = (0..ROWS as i64).collect();
+    let strs: Vec<String> = (0..ROWS)
+        .map(|i| {
+            if i % 2 == 0 {
+                format!("k{i}")
+            } else {
+                format!("a longer string payload for row {i:08}")
+            }
+        })
+        .collect();
+    (Vector::from_i64(keys), Vector::from_strs(strs))
+}
+
+fn mgr() -> Arc<BufferManager> {
+    BufferManager::new(
+        BufferManagerConfig::with_limit(1 << 30)
+            .page_size(PAGE)
+            .temp_dir(rexa_storage::scratch_dir("lbench").unwrap()),
+    )
+    .unwrap()
+}
+
+fn layout() -> Arc<TupleDataLayout> {
+    Arc::new(TupleDataLayout::new(
+        vec![LogicalType::Int64, LogicalType::Varchar],
+        vec![],
+    ))
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let (keys, strs) = columns();
+    let cols: Vec<&Vector> = vec![&keys, &strs];
+    let hashes = hashing::hash_columns(&cols, ROWS);
+    let m = mgr();
+
+    let mut g = c.benchmark_group("layout");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(ROWS as u64));
+
+    g.bench_function("scatter_100k_rows", |b| {
+        b.iter(|| {
+            let mut coll = TupleDataCollection::new(Arc::clone(&m), layout());
+            for start in (0..ROWS).step_by(2048) {
+                let end = (start + 2048).min(ROWS);
+                let sel: Vec<u32> = (start as u32..end as u32).collect();
+                coll.append(&cols, &hashes, &sel, None).unwrap();
+            }
+            black_box(coll.rows());
+        })
+    });
+
+    let mut coll = TupleDataCollection::new(Arc::clone(&m), layout());
+    for start in (0..ROWS).step_by(2048) {
+        let end = (start + 2048).min(ROWS);
+        let sel: Vec<u32> = (start as u32..end as u32).collect();
+        coll.append(&cols, &hashes, &sel, None).unwrap();
+    }
+    coll.release_pins();
+
+    g.bench_function("gather_100k_rows", |b| {
+        let pins = coll.pin_all().unwrap();
+        let ptrs = coll.all_row_ptrs(&pins);
+        b.iter(|| {
+            for batch in ptrs.chunks(2048) {
+                black_box(unsafe { coll.gather(batch) });
+            }
+        })
+    });
+
+    g.bench_function("repin_nothing_moved", |b| {
+        b.iter(|| {
+            black_box(coll.pin_all().unwrap());
+        })
+    });
+
+    g.bench_function("spill_reload_recompute", |b| {
+        b.iter(|| {
+            // Push everything out...
+            m.set_memory_limit(4 * PAGE);
+            let mut hog = Vec::new();
+            while let Ok(p) = m.allocate_page() {
+                hog.push(p);
+            }
+            drop(hog);
+            m.set_memory_limit(1 << 30);
+            // ...and reload with pointer recomputation.
+            black_box(coll.pin_all().unwrap());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Ablation: the **salt** (paper Section V). Probe a linear-probing table of
+//! pointers to out-of-line keys, with and without comparing the 16-bit salt
+//! before following the pointer, at increasing fill factors.
+//!
+//! Expected shape: without the salt, every collision dereferences a random
+//! row (cache miss); with it, all but ~1/65536 of non-matching collisions
+//! are rejected from the entry itself, so performance degrades far more
+//! gently as the table fills up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rexa_exec::hashing::{mix64, POINTER_BITS};
+use std::hint::black_box;
+
+const TABLE_BITS: u32 = 17; // the paper's 2^17 table
+const CAPACITY: usize = 1 << TABLE_BITS;
+const PROBES: usize = 1 << 16;
+
+struct Fixture {
+    entries: Vec<u64>,
+    /// Out-of-line "rows": 64-byte records whose first lane is the group
+    /// key. The entries hold raw pointers into this allocation; the field
+    /// exists to keep it alive.
+    #[allow(dead_code)]
+    rows: Box<[u64]>,
+    probe_hashes: Vec<u64>,
+    probe_keys: Vec<u64>,
+}
+
+/// u64 lanes per "row": 64 bytes, like a realistic group row — so following
+/// a pointer is a genuine cache miss, as in the paper's setting.
+const ROW_LANES: usize = 8;
+
+fn build(fill: f64) -> Fixture {
+    let n = (CAPACITY as f64 * fill) as usize;
+    let rows = vec![0u64; n * ROW_LANES].into_boxed_slice();
+    let mut entries = vec![0u64; CAPACITY];
+    let mask = CAPACITY as u64 - 1;
+    for i in 0..n {
+        let key = i as u64 * 2 + 1; // odd keys exist
+        let row = &rows[i * ROW_LANES] as *const u64;
+        // SAFETY: within the allocation; exclusive during build.
+        unsafe { (row as *mut u64).write(key) };
+        let h = mix64(key);
+        let mut slot = (h & mask) as usize;
+        while entries[slot] != 0 {
+            slot = (slot + 1) & mask as usize;
+        }
+        entries[slot] = (h & !((1u64 << POINTER_BITS) - 1)) | row as u64;
+    }
+    // Probe a mix of hits (odd keys) and misses (even keys).
+    let probe_keys: Vec<u64> = (0..PROBES as u64).map(|i| i * 37 % (2 * n as u64)).collect();
+    let probe_hashes: Vec<u64> = probe_keys.iter().map(|&k| mix64(k)).collect();
+    Fixture {
+        entries,
+        rows,
+        probe_hashes,
+        probe_keys,
+    }
+}
+
+const PTR_MASK: u64 = (1u64 << POINTER_BITS) - 1;
+
+fn probe_salted(f: &Fixture) -> u64 {
+    let mask = CAPACITY as u64 - 1;
+    let mut found = 0u64;
+    for (&h, &k) in f.probe_hashes.iter().zip(&f.probe_keys) {
+        let salt = h & !PTR_MASK;
+        let mut slot = (h & mask) as usize;
+        loop {
+            let e = f.entries[slot];
+            if e == 0 {
+                break;
+            }
+            // Salt first: only dereference on a salt match.
+            if (e & !PTR_MASK) == salt {
+                let row = (e & PTR_MASK) as *const u64;
+                // SAFETY: entries point into f.rows.
+                if unsafe { *row } == k {
+                    found += 1;
+                    break;
+                }
+            }
+            slot = (slot + 1) & mask as usize;
+        }
+    }
+    found
+}
+
+fn probe_unsalted(f: &Fixture) -> u64 {
+    let mask = CAPACITY as u64 - 1;
+    let mut found = 0u64;
+    for (&h, &k) in f.probe_hashes.iter().zip(&f.probe_keys) {
+        let mut slot = (h & mask) as usize;
+        loop {
+            let e = f.entries[slot];
+            if e == 0 {
+                break;
+            }
+            // No salt: every occupied slot dereferences the row.
+            let row = (e & PTR_MASK) as *const u64;
+            // SAFETY: entries point into f.rows.
+            if unsafe { *row } == k {
+                found += 1;
+                break;
+            }
+            slot = (slot + 1) & mask as usize;
+        }
+    }
+    found
+}
+
+fn bench_salt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("salt_ablation");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(PROBES as u64));
+    for fill in [0.25, 0.5, 0.66, 0.85] {
+        let f = build(fill);
+        // Both variants must agree on the result.
+        assert_eq!(probe_salted(&f), probe_unsalted(&f));
+        g.bench_with_input(BenchmarkId::new("salted", fill), &f, |b, f| {
+            b.iter(|| black_box(probe_salted(f)))
+        });
+        g.bench_with_input(BenchmarkId::new("unsalted", fill), &f, |b, f| {
+            b.iter(|| black_box(probe_unsalted(f)))
+        });
+        drop(f);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_salt);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! **Figure 6**: execution time vs. paper scale factor (1–128, log-log) for
+//! the *wide* variants of groupings 3, 6, and 13, all systems.
+
+fn main() {
+    rexa_bench::tables::run_scaling_figure(true, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]);
+}

@@ -1,0 +1,160 @@
+//! **Section VII allocation micro-benchmark**: the latency of a small
+//! (one page) and a large (1024 pages) allocation —
+//!
+//! 1. through the raw allocator,
+//! 2. through the buffer manager with ample memory,
+//! 3. through the buffer manager with memory full of cached persistent data
+//!    (allocations must evict; the small one reuses the evicted buffer, the
+//!    large one causes a cascade of deallocations).
+//!
+//! The paper reports (jemalloc, 256 KiB pages): raw 1.5/1.7 µs; ample
+//! 1.7/2.0 µs; full 0.9 µs (small, buffer reused) and 0.9 ms (large, 1024
+//! evictions). The shape to reproduce: buffer-manager overhead is negligible
+//! when memory is ample; a full pool makes the small allocation *cheaper*
+//! (reuse) and the large allocation much more expensive (many evictions).
+
+use rexa_bench::HarnessArgs;
+use rexa_buffer::{BufferManager, BufferManagerConfig};
+use rexa_storage::DatabaseFile;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Iterations to average over (the paper averages over 3,024 allocations).
+const ITERS: usize = 3024;
+/// Pages per "large" region (the paper's large region is 1024 pages).
+const LARGE_PAGES: usize = 1024;
+
+fn time_avg(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64 * 1e6 // µs
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let page = args.page_size;
+    let large = LARGE_PAGES * page;
+    println!(
+        "Section VII allocation micro-benchmark | page={} KiB, large={} MiB, {} iters",
+        page >> 10,
+        large >> 20,
+        ITERS
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // 1. Raw allocator (malloc/free pair, uninitialized — what the paper
+    // measures with jemalloc).
+    let raw_alloc = |size: usize| {
+        let layout = std::alloc::Layout::from_size_align(size, 64).unwrap();
+        // SAFETY: non-zero size; freed with the same layout.
+        unsafe {
+            let p = std::alloc::alloc(layout);
+            black_box(p);
+            std::alloc::dealloc(p, layout);
+        }
+    };
+    let raw_small = time_avg(ITERS, || raw_alloc(page));
+    let raw_large = time_avg(ITERS / 16, || raw_alloc(large));
+    rows.push(vec![
+        "raw allocator".into(),
+        format!("{raw_small:.2}"),
+        format!("{raw_large:.2}"),
+    ]);
+
+    // 2. Buffer manager, ample memory.
+    let dir = rexa_storage::scratch_dir("alloc").unwrap();
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(4 * large)
+            .page_size(page)
+            .temp_dir(dir.join("tmp")),
+    )
+    .unwrap();
+    let bm_small = time_avg(ITERS, || {
+        let (h, p) = mgr.allocate_page().unwrap();
+        black_box(&p);
+        drop(p);
+        drop(h); // eager destroy
+    });
+    let bm_large = time_avg(ITERS / 16, || {
+        let (h, p) = mgr.allocate_variable(large).unwrap();
+        black_box(&p);
+        drop(p);
+        drop(h);
+    });
+    rows.push(vec![
+        "buffer manager, ample memory".into(),
+        format!("{bm_small:.2}"),
+        format!("{bm_large:.2}"),
+    ]);
+
+    // 3. Buffer manager, memory full of cached persistent pages.
+    let db = Arc::new(DatabaseFile::create(&dir.join("fill.db"), page).unwrap());
+    let filler = vec![0xAB; page];
+    let total_pages = 4 * large / page + 64;
+    let handles: Vec<_> = (0..total_pages)
+        .map(|_| {
+            let id = db.append_block(&filler).unwrap();
+            mgr.register_persistent(&db, id)
+        })
+        .collect();
+    let refill = |mgr: &BufferManager| {
+        for h in &handles {
+            if mgr.pin(h).is_err() {
+                break; // memory full: good
+            }
+        }
+    };
+    refill(&mgr);
+    let before = mgr.stats();
+    // Keep the allocations alive so every iteration runs against a full
+    // pool: each allocation must evict one persistent page (free) and can
+    // reuse its buffer immediately — the paper's "takes even less time"
+    // case. The pool holds ~4096 cached pages, enough for all iterations.
+    let mut kept = Vec::with_capacity(ITERS);
+    let full_small = time_avg(ITERS, || {
+        let (h, p) = mgr.allocate_page().unwrap();
+        black_box(&p);
+        drop(p);
+        kept.push(h);
+    });
+    drop(kept);
+    // For the large allocation, refill the pool outside the timed section;
+    // each timed allocation pays for ~LARGE_PAGES evictions + deallocations.
+    let mut total = std::time::Duration::ZERO;
+    let large_iters = 24;
+    for _ in 0..large_iters {
+        refill(&mgr);
+        let t = Instant::now();
+        let (h, p) = mgr.allocate_variable(large).unwrap();
+        black_box(&p);
+        total += t.elapsed();
+        drop(p);
+        drop(h);
+    }
+    let full_large = total.as_secs_f64() / large_iters as f64 * 1e6;
+    let delta = mgr.stats().delta_since(&before);
+    rows.push(vec![
+        "buffer manager, memory full".into(),
+        format!("{full_small:.2}"),
+        format!("{full_large:.2}"),
+    ]);
+
+    let header: Vec<String> = ["scenario", "small alloc (µs)", "large alloc (µs)"]
+        .map(String::from)
+        .to_vec();
+    rexa_bench::print_table(&header, &rows);
+    println!(
+        "\npersistent evictions during the full-memory runs: {} (all write-free); \
+         buffer reuses: {}",
+        delta.evictions_persistent, delta.buffer_reuses
+    );
+    println!(
+        "Expected shape: ample-memory overhead vs raw is small (bookkeeping); with\n\
+         memory full the small allocation stays cheap (evicted buffer reused) while\n\
+         the large allocation pays for ~{LARGE_PAGES} evictions."
+    );
+}

@@ -1,0 +1,7 @@
+//! **Table II**: thin groupings 1–13 at paper SFs {2, 8, 32, 128} across the
+//! four systems, with the per-SF geometric mean normalized to the robust
+//! engine.
+
+fn main() {
+    rexa_bench::tables::run_groupings_table(false, &[2.0, 8.0, 32.0, 128.0]);
+}

@@ -1,0 +1,6 @@
+//! **Table III**: wide groupings (ANY_VALUE over every non-group column) at
+//! paper SFs {2, 8, 32, 128} across the four systems.
+
+fn main() {
+    rexa_bench::tables::run_groupings_table(true, &[2.0, 8.0, 32.0, 128.0]);
+}

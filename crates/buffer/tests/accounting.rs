@@ -1,0 +1,158 @@
+//! Property test: under arbitrary sequences of buffer-manager operations
+//! (allocate, pin, unpin, destroy, reserve, resize, limit changes), the
+//! accounting invariants hold:
+//!
+//! * `memory_used` never exceeds the limit after a successful operation,
+//! * gauges decompose: used = persistent + temporary + non-paged,
+//! * pinned pages are never evicted (their contents survive),
+//! * after dropping everything, used == 0 and the temp file is empty.
+
+use proptest::prelude::*;
+use rexa_buffer::{BlockHandle, BufferManager, BufferManagerConfig, EvictionPolicy, MemoryReservation, PinGuard};
+use rexa_storage::scratch_dir;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AllocPage,
+    AllocVariable(usize),
+    Pin(usize),
+    Unpin(usize),
+    Destroy(usize),
+    Reserve(usize),
+    ResizeReservation(usize, usize),
+    DropReservation(usize),
+    SetLimit(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => Just(Op::AllocPage),
+        1 => (1usize..5).prop_map(|p| Op::AllocVariable(p * 1500)),
+        4 => any::<prop::sample::Index>().prop_map(|i| Op::Pin(i.index(64))),
+        4 => any::<prop::sample::Index>().prop_map(|i| Op::Unpin(i.index(64))),
+        2 => any::<prop::sample::Index>().prop_map(|i| Op::Destroy(i.index(64))),
+        1 => (0usize..8).prop_map(|p| Op::Reserve(p * 1024)),
+        1 => (any::<prop::sample::Index>(), 0usize..8)
+            .prop_map(|(i, p)| Op::ResizeReservation(i.index(8), p * 1024)),
+        1 => any::<prop::sample::Index>().prop_map(|i| Op::DropReservation(i.index(8))),
+        1 => (4usize..64).prop_map(|p| Op::SetLimit(p * 1024)),
+    ]
+}
+
+const PAGE: usize = 1024;
+
+struct Tracked {
+    handle: Arc<BlockHandle>,
+    pin: Option<PinGuard>,
+    fill: u8,
+}
+
+fn check_invariants(mgr: &BufferManager) {
+    let s = mgr.stats();
+    assert_eq!(
+        s.memory_used,
+        s.persistent_resident + s.temporary_resident + s.non_paged,
+        "gauge decomposition: {s:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_op_sequences_preserve_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        limit_pages in 4usize..32,
+    ) {
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(limit_pages * PAGE)
+                .page_size(PAGE)
+                .policy(EvictionPolicy::Mixed)
+                .temp_dir(scratch_dir("acct").unwrap()),
+        ).unwrap();
+        let mut blocks: Vec<Tracked> = Vec::new();
+        let mut reservations: Vec<MemoryReservation> = Vec::new();
+        let mut next_fill = 1u8;
+
+        for op in ops {
+            match op {
+                Op::AllocPage => {
+                    if let Ok((handle, pin)) = mgr.allocate_page() {
+                        pin.write_at(0, &[next_fill; PAGE]);
+                        blocks.push(Tracked { handle, pin: Some(pin), fill: next_fill });
+                        next_fill = next_fill.wrapping_add(1).max(1);
+                    }
+                }
+                Op::AllocVariable(size) => {
+                    if let Ok((handle, pin)) = mgr.allocate_variable(size) {
+                        pin.write_at(0, &vec![next_fill; size]);
+                        blocks.push(Tracked { handle, pin: Some(pin), fill: next_fill });
+                        next_fill = next_fill.wrapping_add(1).max(1);
+                    }
+                }
+                Op::Pin(i) => {
+                    if let Some(t) = blocks.get_mut(i) {
+                        if t.pin.is_none() {
+                            if let Ok(pin) = mgr.pin(&t.handle) {
+                                // Contents must have survived any spill.
+                                let mut b = [0u8; 8];
+                                pin.read_at(0, &mut b);
+                                prop_assert!(b.iter().all(|&x| x == t.fill),
+                                    "content lost for fill {}", t.fill);
+                                t.pin = Some(pin);
+                            }
+                        }
+                    }
+                }
+                Op::Unpin(i) => {
+                    if let Some(t) = blocks.get_mut(i) {
+                        t.pin = None;
+                    }
+                }
+                Op::Destroy(i) => {
+                    if i < blocks.len() {
+                        blocks.swap_remove(i);
+                    }
+                }
+                Op::Reserve(size) => {
+                    if let Ok(r) = mgr.reserve(size) {
+                        reservations.push(r);
+                    }
+                }
+                Op::ResizeReservation(i, size) => {
+                    if let Some(r) = reservations.get_mut(i) {
+                        let _ = r.resize(size);
+                    }
+                }
+                Op::DropReservation(i) => {
+                    if i < reservations.len() {
+                        reservations.swap_remove(i);
+                    }
+                }
+                Op::SetLimit(bytes) => mgr.set_memory_limit(bytes),
+            }
+            check_invariants(&mgr);
+        }
+
+        // Every surviving block must still hold its contents.
+        // (Raise the limit so pins cannot fail for lack of room —
+        // everything unpinned is evictable.)
+        mgr.set_memory_limit(usize::MAX);
+        for t in &mut blocks {
+            if t.pin.is_none() {
+                let pin = mgr.pin(&t.handle).unwrap();
+                let mut b = [0u8; 8];
+                pin.read_at(0, &mut b);
+                prop_assert!(b.iter().all(|&x| x == t.fill));
+                t.pin = Some(pin);
+            }
+        }
+
+        drop(blocks);
+        drop(reservations);
+        let s = mgr.stats();
+        prop_assert_eq!(s.memory_used, 0, "leaked accounting: {:?}", s);
+        prop_assert_eq!(s.temp_bytes_on_disk, 0, "leaked spill space: {:?}", s);
+    }
+}

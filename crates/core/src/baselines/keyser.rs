@@ -1,0 +1,177 @@
+//! Typed byte serialization of group keys and argument values, shared by the
+//! baseline aggregators. Equal values always serialize to equal bytes
+//! (floats are normalized so `-0.0 == 0.0`; NULL has its own tag), so byte
+//! equality is group equality and byte-sorted runs cluster equal groups.
+
+use rexa_exec::vector::VectorData;
+use rexa_exec::{Error, LogicalType, Result, Value, Vector};
+
+/// Append the encoding of `col[row]` to `out`.
+pub(crate) fn serialize_value(col: &Vector, row: usize, out: &mut Vec<u8>) {
+    if !col.validity().is_valid(row) {
+        out.push(0);
+        return;
+    }
+    out.push(1);
+    match col.data() {
+        VectorData::I32(v) => out.extend_from_slice(&v[row].to_le_bytes()),
+        VectorData::I64(v) => out.extend_from_slice(&v[row].to_le_bytes()),
+        VectorData::F64(v) => {
+            let x = if v[row] == 0.0 { 0.0 } else { v[row] };
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        VectorData::Str(v) => {
+            let s = v.get(row).as_bytes();
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s);
+        }
+    }
+}
+
+/// Append the encodings of one row of several columns.
+pub(crate) fn serialize_row(cols: &[&Vector], row: usize, out: &mut Vec<u8>) {
+    for col in cols {
+        serialize_value(col, row, out);
+    }
+}
+
+/// Decode one value of type `ty` at `pos`, advancing it.
+pub(crate) fn decode_value(bytes: &[u8], pos: &mut usize, ty: LogicalType) -> Result<Value> {
+    let tag = *bytes
+        .get(*pos)
+        .ok_or_else(|| Error::Internal("truncated key".into()))?;
+    *pos += 1;
+    if tag == 0 {
+        return Ok(Value::Null);
+    }
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        let end = *pos + n;
+        let s = bytes
+            .get(*pos..end)
+            .ok_or_else(|| Error::Internal("truncated key".into()))?;
+        *pos = end;
+        Ok(s)
+    };
+    Ok(match ty {
+        LogicalType::Int32 => Value::Int32(i32::from_le_bytes(take(pos, 4)?.try_into().unwrap())),
+        LogicalType::Date => Value::Date(i32::from_le_bytes(take(pos, 4)?.try_into().unwrap())),
+        LogicalType::Int64 => Value::Int64(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+        LogicalType::Float64 => Value::Float64(f64::from_bits(u64::from_le_bytes(
+            take(pos, 8)?.try_into().unwrap(),
+        ))),
+        LogicalType::Varchar => {
+            let len = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+            let s = take(pos, len)?;
+            Value::Varchar(
+                std::str::from_utf8(s)
+                    .map_err(|_| Error::Internal("invalid UTF-8 in key".into()))?
+                    .to_string(),
+            )
+        }
+    })
+}
+
+/// Decode a whole row of `types` at `pos`.
+pub(crate) fn decode_row(bytes: &[u8], pos: &mut usize, types: &[LogicalType]) -> Result<Vec<Value>> {
+    types.iter().map(|&t| decode_value(bytes, pos, t)).collect()
+}
+
+/// A fast, non-cryptographic hasher for byte keys (FxHash-style folding).
+#[derive(Default, Clone)]
+pub(crate) struct ByteHasher(u64);
+
+impl std::hash::Hasher for ByteHasher {
+    fn finish(&self) -> u64 {
+        rexa_exec::hashing::mix64(self.0)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut lane = [0u8; 8];
+            lane[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0.rotate_left(5) ^ u64::from_le_bytes(lane))
+                .wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+}
+
+/// BuildHasher for [`ByteHasher`].
+#[derive(Default, Clone)]
+pub(crate) struct ByteHashBuilder;
+
+impl std::hash::BuildHasher for ByteHashBuilder {
+    type Hasher = ByteHasher;
+    fn build_hasher(&self) -> ByteHasher {
+        ByteHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let cols = [
+            Vector::from_i32(vec![-7]),
+            Vector::from_dates(vec![123]),
+            Vector::from_i64(vec![1 << 40]),
+            Vector::from_f64(vec![2.5]),
+            Vector::from_strs(["hello world, a longer string"]),
+        ];
+        let types = [
+            LogicalType::Int32,
+            LogicalType::Date,
+            LogicalType::Int64,
+            LogicalType::Float64,
+            LogicalType::Varchar,
+        ];
+        let refs: Vec<&Vector> = cols.iter().collect();
+        let mut bytes = Vec::new();
+        serialize_row(&refs, 0, &mut bytes);
+        let mut pos = 0;
+        let row = decode_row(&bytes, &mut pos, &types).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(
+            row,
+            vec![
+                Value::Int32(-7),
+                Value::Date(123),
+                Value::Int64(1 << 40),
+                Value::Float64(2.5),
+                Value::Varchar("hello world, a longer string".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn null_round_trip() {
+        let col = Vector::from_values(LogicalType::Varchar, &[Value::Null]).unwrap();
+        let mut bytes = Vec::new();
+        serialize_value(&col, 0, &mut bytes);
+        assert_eq!(bytes, vec![0]);
+        let mut pos = 0;
+        assert_eq!(
+            decode_value(&bytes, &mut pos, LogicalType::Varchar).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        let a = Vector::from_f64(vec![0.0]);
+        let b = Vector::from_f64(vec![-0.0]);
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        serialize_value(&a, 0, &mut ba);
+        serialize_value(&b, 0, &mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn truncated_input_is_error_not_panic() {
+        let mut pos = 0;
+        assert!(decode_value(&[1, 0], &mut pos, LogicalType::Int64).is_err());
+        let mut pos = 0;
+        assert!(decode_value(&[], &mut pos, LogicalType::Int32).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Baseline 2: traditional **external merge-sort aggregation** — the far
+//! side of the performance cliff.
+//!
+//! Every input row is serialized to a record, records are sorted into runs
+//! (each run bounded by half the memory limit), runs are written to disk,
+//! and a streaming k-way merge aggregates adjacent equal keys. O(n log n)
+//! comparisons plus a full write+read of the input through storage: this is
+//! the algorithm class traditional systems fall back to, and the reason
+//! switching algorithms at the memory limit produces the "orders of
+//! magnitude slower" jump the paper's Figure 1 illustrates.
+
+use crate::baselines::keyser::{decode_row, serialize_row, serialize_value};
+use crate::function::{bind_aggregate, AggKind, AggregateSpec, BoundAggregate};
+use crate::simple::RefState;
+use rexa_buffer::BufferManager;
+use rexa_exec::pipeline::{CancelToken, ChunkSource};
+use rexa_exec::{DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A serialized input row: key bytes then argument-value bytes.
+#[derive(Debug)]
+struct Record {
+    key_len: u32,
+    bytes: Vec<u8>,
+}
+
+impl Record {
+    fn key(&self) -> &[u8] {
+        &self.bytes[..self.key_len as usize]
+    }
+    fn args(&self) -> &[u8] {
+        &self.bytes[self.key_len as usize..]
+    }
+}
+
+struct RunWriter {
+    file: BufWriter<File>,
+    bytes: u64,
+}
+
+fn write_record(w: &mut RunWriter, rec: &Record) -> Result<()> {
+    w.file.write_all(&(rec.bytes.len() as u32).to_le_bytes())?;
+    w.file.write_all(&rec.key_len.to_le_bytes())?;
+    w.file.write_all(&rec.bytes)?;
+    w.bytes += 8 + rec.bytes.len() as u64;
+    Ok(())
+}
+
+struct RunReader {
+    file: BufReader<File>,
+    current: Option<Record>,
+}
+
+impl RunReader {
+    fn advance(&mut self) -> Result<()> {
+        let mut len4 = [0u8; 4];
+        match self.file.read_exact(&mut len4) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                self.current = None;
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let total = u32::from_le_bytes(len4) as usize;
+        let mut key4 = [0u8; 4];
+        self.file.read_exact(&mut key4)?;
+        let mut bytes = vec![0u8; total];
+        self.file.read_exact(&mut bytes)?;
+        self.current = Some(Record {
+            key_len: u32::from_le_bytes(key4),
+            bytes,
+        });
+        Ok(())
+    }
+}
+
+/// Heap entry ordering: smallest key first (min-heap via reversed compare).
+struct HeapEntry {
+    reader_idx: usize,
+    key_snapshot: Vec<u8>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_snapshot == other.key_snapshot
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key_snapshot.cmp(&self.key_snapshot) // reversed: min-heap
+    }
+}
+
+/// Statistics of one external-sort run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortAggStats {
+    /// Input rows processed.
+    pub rows_in: usize,
+    /// Output groups.
+    pub groups: usize,
+    /// Sorted runs written to disk (0 = everything fit in one in-memory run).
+    pub runs: usize,
+    /// Bytes written to run files.
+    pub spill_bytes: u64,
+}
+
+/// Run the external merge-sort aggregation baseline.
+pub fn sort_aggregate(
+    mgr: &Arc<BufferManager>,
+    source: &dyn ChunkSource,
+    input_schema: &[LogicalType],
+    group_cols: &[usize],
+    aggregates: &[AggregateSpec],
+    cancel: &CancelToken,
+    consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
+) -> Result<SortAggStats> {
+    if group_cols.is_empty() {
+        return Err(Error::Unsupported("ungrouped aggregation".into()));
+    }
+    let aggs: Vec<BoundAggregate> = aggregates
+        .iter()
+        .map(|s| bind_aggregate(*s, input_schema))
+        .collect::<Result<_>>()?;
+    let group_types: Vec<LogicalType> = group_cols.iter().map(|&c| input_schema[c]).collect();
+    let mut output_types = group_types.clone();
+    output_types.extend(aggs.iter().map(|a| a.output_type));
+
+    let run_dir = rexa_storage::scratch_dir("sortagg")?;
+    let budget = (mgr.memory_limit() / 2).max(1 << 20);
+    let mut stats = SortAggStats::default();
+
+    // ---- run generation ---------------------------------------------------
+    let mut buffer: Vec<Record> = Vec::new();
+    let mut buffered_bytes = 0usize;
+    let mut reservation = mgr.reserve(0)?;
+    let mut run_paths: Vec<PathBuf> = Vec::new();
+
+    let flush_run = |buffer: &mut Vec<Record>,
+                         run_paths: &mut Vec<PathBuf>,
+                         stats: &mut SortAggStats|
+     -> Result<()> {
+        if buffer.is_empty() {
+            return Ok(());
+        }
+        buffer.sort_unstable_by(|a, b| a.key().cmp(b.key()));
+        let path = run_dir.join(format!("run-{}.bin", run_paths.len()));
+        let mut w = RunWriter {
+            file: BufWriter::new(File::create(&path)?),
+            bytes: 0,
+        };
+        for rec in buffer.drain(..) {
+            write_record(&mut w, &rec)?;
+        }
+        w.file.flush()?;
+        stats.spill_bytes += w.bytes;
+        run_paths.push(path);
+        stats.runs += 1;
+        Ok(())
+    };
+
+    {
+        let mut reader = source.reader();
+        while let Some(chunk) = reader.next()? {
+            cancel.check()?;
+            let group_views: Vec<&Vector> =
+                group_cols.iter().map(|&c| chunk.column(c)).collect();
+            for i in 0..chunk.len() {
+                let mut bytes = Vec::new();
+                serialize_row(&group_views, i, &mut bytes);
+                let key_len = bytes.len() as u32;
+                for agg in &aggs {
+                    if let Some(c) = agg.spec.arg {
+                        serialize_value(chunk.column(c), i, &mut bytes);
+                    }
+                }
+                buffered_bytes += bytes.len() + 48;
+                buffer.push(Record { key_len, bytes });
+                stats.rows_in += 1;
+            }
+            if buffered_bytes > reservation.size() {
+                match reservation.resize(buffered_bytes.next_multiple_of(1 << 20)) {
+                    Ok(()) => {}
+                    Err(e) if e.is_oom() => {
+                        // Memory pressure: flush the current run early.
+                        flush_run(&mut buffer, &mut run_paths, &mut stats)?;
+                        buffered_bytes = 0;
+                        reservation.resize(0)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if buffered_bytes > budget {
+                flush_run(&mut buffer, &mut run_paths, &mut stats)?;
+                buffered_bytes = 0;
+                reservation.resize(0)?;
+            }
+        }
+    }
+
+    // ---- merge + streaming aggregation ------------------------------------
+    let mut out = DataChunk::empty(&output_types);
+    let emit_group = |key: &[u8],
+                          states: Vec<RefState>,
+                          out: &mut DataChunk,
+                          stats: &mut SortAggStats|
+     -> Result<()> {
+        let mut pos = 0usize;
+        let mut row = decode_row(key, &mut pos, &group_types)?;
+        row.extend(states.into_iter().map(RefState::finalize));
+        out.push_row(&row)?;
+        stats.groups += 1;
+        if out.len() == VECTOR_SIZE {
+            consumer(std::mem::replace(out, DataChunk::empty(&output_types)))?;
+        }
+        Ok(())
+    };
+
+    let new_states = |aggs: &[BoundAggregate]| -> Vec<RefState> {
+        aggs.iter()
+            .map(|a| RefState::new(a.spec.kind, a.arg_type))
+            .collect()
+    };
+
+    let update_states =
+        |states: &mut [RefState], aggs: &[BoundAggregate], args: &[u8]| -> Result<()> {
+            let mut pos = 0usize;
+            for (state, agg) in states.iter_mut().zip(aggs) {
+                match agg.spec.kind {
+                    AggKind::CountStar => state.update(AggKind::CountStar, None),
+                    _ => {
+                        let ty = agg.arg_type.expect("non-count-star has an arg");
+                        let v = crate::baselines::keyser::decode_value(args, &mut pos, ty)?;
+                        state.update(agg.spec.kind, Some(&v));
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    if run_paths.is_empty() {
+        // Everything fit in one buffered run: sort + aggregate in memory
+        // (still the O(n log n) algorithm, just without the I/O).
+        buffer.sort_unstable_by(|a, b| a.key().cmp(b.key()));
+        let mut cur_key: Option<Vec<u8>> = None;
+        let mut states = new_states(&aggs);
+        for rec in &buffer {
+            cancel.check()?;
+            if cur_key.as_deref() != Some(rec.key()) {
+                if let Some(k) = cur_key.take() {
+                    emit_group(&k, std::mem::replace(&mut states, new_states(&aggs)), &mut out, &mut stats)?;
+                }
+                cur_key = Some(rec.key().to_vec());
+            }
+            update_states(&mut states, &aggs, rec.args())?;
+        }
+        if let Some(k) = cur_key {
+            emit_group(&k, states, &mut out, &mut stats)?;
+        }
+    } else {
+        // Flush the tail as a final run and k-way merge.
+        flush_run(&mut buffer, &mut run_paths, &mut stats)?;
+        reservation.resize(0)?;
+        let mut readers: Vec<RunReader> = run_paths
+            .iter()
+            .map(|p| -> Result<RunReader> {
+                let mut r = RunReader {
+                    file: BufReader::new(File::open(p)?),
+                    current: None,
+                };
+                r.advance()?;
+                Ok(r)
+            })
+            .collect::<Result<_>>()?;
+        let mut heap = BinaryHeap::new();
+        for (idx, r) in readers.iter().enumerate() {
+            if let Some(rec) = &r.current {
+                heap.push(HeapEntry {
+                    reader_idx: idx,
+                    key_snapshot: rec.key().to_vec(),
+                });
+            }
+        }
+        let mut cur_key: Option<Vec<u8>> = None;
+        let mut states = new_states(&aggs);
+        let mut processed = 0u64;
+        while let Some(top) = heap.pop() {
+            processed += 1;
+            if processed.is_multiple_of(4096) {
+                cancel.check()?;
+            }
+            let reader = &mut readers[top.reader_idx];
+            let rec = reader.current.take().expect("heap entry has a record");
+            if cur_key.as_deref() != Some(rec.key()) {
+                if let Some(k) = cur_key.take() {
+                    emit_group(&k, std::mem::replace(&mut states, new_states(&aggs)), &mut out, &mut stats)?;
+                }
+                cur_key = Some(rec.key().to_vec());
+            }
+            update_states(&mut states, &aggs, rec.args())?;
+            reader.advance()?;
+            if let Some(next) = &reader.current {
+                heap.push(HeapEntry {
+                    reader_idx: top.reader_idx,
+                    key_snapshot: next.key().to_vec(),
+                });
+            }
+        }
+        if let Some(k) = cur_key {
+            emit_group(&k, states, &mut out, &mut stats)?;
+        }
+    }
+    if !out.is_empty() {
+        consumer(out)?;
+    }
+    let _ = std::fs::remove_dir_all(&run_dir);
+    Ok(stats)
+}

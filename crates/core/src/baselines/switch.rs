@@ -1,0 +1,121 @@
+//! Baseline 3: **switch-on-overflow** — run the fast in-memory algorithm,
+//! and if it aborts with out-of-memory, *restart* the whole query with the
+//! external sort algorithm.
+//!
+//! This is the strategy the paper attributes to systems like HyPer: it works,
+//! but the moment the input crosses the memory limit the runtime jumps by the
+//! full cost of a wasted first attempt plus the slower external algorithm —
+//! the performance cliff of Figure 1. Adding one row to a table can trigger
+//! it.
+
+use crate::baselines::inmemory::in_memory_aggregate;
+use crate::baselines::sortagg::{sort_aggregate, SortAggStats};
+use crate::function::AggregateSpec;
+use rexa_buffer::BufferManager;
+use rexa_exec::pipeline::{CancelToken, ChunkSource};
+use rexa_exec::{DataChunk, LogicalType, Result};
+use std::sync::Arc;
+
+/// A source that can be scanned multiple times — required by the restart.
+pub trait Scannable: Sync {
+    /// A fresh scan.
+    fn scan_source(&self) -> Box<dyn ChunkSource + '_>;
+}
+
+/// Wraps a [`rexa_exec::ChunkCollection`] as a rescannable source.
+pub struct CollectionScan<'a>(pub &'a rexa_exec::ChunkCollection);
+
+impl Scannable for CollectionScan<'_> {
+    fn scan_source(&self) -> Box<dyn ChunkSource + '_> {
+        Box::new(rexa_exec::pipeline::CollectionSource::new(self.0))
+    }
+}
+
+/// Wraps a persistent [`rexa_buffer::Table`] as a rescannable source.
+pub struct TableScan<'a> {
+    /// The table.
+    pub table: &'a rexa_buffer::Table,
+    /// The buffer manager to pin pages through.
+    pub mgr: Arc<BufferManager>,
+}
+
+impl Scannable for TableScan<'_> {
+    fn scan_source(&self) -> Box<dyn ChunkSource + '_> {
+        Box::new(self.table.scan(&self.mgr))
+    }
+}
+
+/// What the switch baseline ended up doing.
+#[derive(Debug, Clone, Copy)]
+pub enum SwitchOutcome {
+    /// The in-memory attempt succeeded.
+    InMemory {
+        /// Groups produced.
+        groups: usize,
+    },
+    /// The in-memory attempt hit the limit; the query was restarted with the
+    /// external sort algorithm.
+    SwitchedToExternal {
+        /// Stats of the external run.
+        stats: SortAggStats,
+    },
+}
+
+impl SwitchOutcome {
+    /// Groups produced, whichever path ran.
+    pub fn groups(&self) -> usize {
+        match self {
+            SwitchOutcome::InMemory { groups } => *groups,
+            SwitchOutcome::SwitchedToExternal { stats } => stats.groups,
+        }
+    }
+
+    /// True if the cliff was hit.
+    pub fn switched(&self) -> bool {
+        matches!(self, SwitchOutcome::SwitchedToExternal { .. })
+    }
+}
+
+/// Run the switch baseline. (The in-memory attempt emits output only after
+/// it has consumed all input, so an abort never leaves partial output with
+/// the consumer.)
+#[allow(clippy::too_many_arguments)]
+pub fn switch_aggregate(
+    mgr: &Arc<BufferManager>,
+    input: &dyn Scannable,
+    input_schema: &[LogicalType],
+    group_cols: &[usize],
+    aggregates: &[AggregateSpec],
+    threads: usize,
+    cancel: &CancelToken,
+    consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
+) -> Result<SwitchOutcome> {
+    let source = input.scan_source();
+    match in_memory_aggregate(
+        mgr,
+        source.as_ref(),
+        input_schema,
+        group_cols,
+        aggregates,
+        threads,
+        cancel,
+        consumer,
+    ) {
+        Ok(groups) => Ok(SwitchOutcome::InMemory { groups }),
+        Err(e) if e.is_oom() => {
+            // The cliff: restart from scratch with the external algorithm.
+            let source = input.scan_source();
+            let stats = sort_aggregate(
+                mgr,
+                source.as_ref(),
+                input_schema,
+                group_cols,
+                aggregates,
+                cancel,
+                consumer,
+            )?;
+            Ok(SwitchOutcome::SwitchedToExternal { stats })
+        }
+        Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,886 @@
+//! The robust external hash aggregation operator (paper Section V).
+//!
+//! Phase 1 — **thread-local pre-aggregation**: each worker pulls morsels and
+//! probes a small fixed-size salted linear-probing table. Found groups get
+//! their aggregate states updated in place; new groups are materialized
+//! *directly into radix partitions* using the spillable page layout (the
+//! column-major → row-major conversion happens while partitioning, so tuples
+//! are copied exactly once). When the table is two-thirds full it is
+//! *reset*: only the entry array is cleared — tuples stay where they are —
+//! and the partition pages are unpinned, making them evictable. The
+//! operator never writes to storage itself; if memory runs short the buffer
+//! manager spills individual unpinned pages. Phase 1 is therefore
+//! **RAM-oblivious**: its behaviour does not depend on the memory limit
+//! (only the small entry array must fit).
+//!
+//! Phase 2 — **partition-wise aggregation**: partitions are distributed over
+//! threads. Each task pins one partition (over-partitioning keeps a
+//! partition per thread within memory), triggers any pending pointer
+//! recomputation, builds a resizably-sized salted table *by pointer
+//! insertion over the already-materialized rows* (no copying), combines the
+//! states of duplicate groups in place, and streams the surviving groups to
+//! the consumer — after which the partition's pages are destroyed eagerly.
+
+use crate::function::{
+    bind_aggregate, combine_state, finalize_state, update_state, AggKind, AggregateSpec,
+    BoundAggregate,
+};
+use crate::ht::{
+    entry_ptr, is_pending, make_entry, make_pending, pending_ord, salt_bits, SaltedHashTable,
+};
+use parking_lot::Mutex;
+use rexa_buffer::{BufferManager, BufferStats};
+use rexa_exec::pipeline::{parallel_for, ChunkSource, LocalSink, ParallelSink, Pipeline};
+use rexa_exec::vector::VectorData;
+use rexa_exec::{hashing, DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
+use rexa_layout::matcher::{row_row_match, rows_match};
+use rexa_layout::{PartitionedTupleData, TupleDataCollection, TupleDataLayout};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The query: which input columns to group by, and which aggregates to
+/// compute over each group.
+#[derive(Debug, Clone)]
+pub struct HashAggregatePlan {
+    /// Indices of the grouping columns in the input schema.
+    pub group_cols: Vec<usize>,
+    /// The aggregates, in output order.
+    pub aggregates: Vec<AggregateSpec>,
+}
+
+/// Tuning knobs of the operator.
+#[derive(Debug, Clone)]
+pub struct AggregateConfig {
+    /// Worker threads for both phases.
+    pub threads: usize,
+    /// Radix partition bits; `None` derives them from the thread count
+    /// (over-partitioning: ≥ 4 partitions per thread).
+    pub radix_bits: Option<u32>,
+    /// Entries in the phase-1 thread-local table. The paper's value is
+    /// 2^17 = 131,072; must be at least 4 × the vector size so a whole chunk
+    /// fits below the reset threshold.
+    pub ht_capacity: usize,
+    /// Rows per output chunk.
+    pub output_chunk_size: usize,
+    /// Reset the phase-1 table when it is this full, in percent. The paper's
+    /// experimentally determined value is two-thirds (66); exposed for the
+    /// reset-threshold ablation benchmark.
+    pub reset_fill_percent: u32,
+}
+
+impl Default for AggregateConfig {
+    fn default() -> Self {
+        AggregateConfig {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()).min(16),
+            radix_bits: None,
+            ht_capacity: 1 << 17,
+            output_chunk_size: VECTOR_SIZE,
+            reset_fill_percent: 66,
+        }
+    }
+}
+
+impl AggregateConfig {
+    /// A config with the given thread count, defaults elsewhere.
+    pub fn with_threads(threads: usize) -> Self {
+        AggregateConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    fn effective_radix_bits(&self) -> u32 {
+        self.radix_bits.unwrap_or_else(|| {
+            let parts = (self.threads * 4).next_power_of_two();
+            (parts.trailing_zeros()).clamp(3, 8)
+        })
+    }
+}
+
+/// What one run did — phase timings, spill activity, reset counts. The
+/// observability the paper's Figures 4–6 are built from.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Input rows consumed.
+    pub rows_in: usize,
+    /// Groups produced.
+    pub groups: usize,
+    /// Radix partitions used.
+    pub partitions: usize,
+    /// Hash-table resets across all threads (phase 1).
+    pub resets: u64,
+    /// Wall time of phase 1 (thread-local pre-aggregation).
+    pub phase1: Duration,
+    /// Wall time of phase 2 (partition-wise aggregation).
+    pub phase2: Duration,
+    /// Buffer-manager activity during the run (counters are deltas).
+    pub buffer: BufferStats,
+}
+
+/// Where each output aggregate comes from.
+#[derive(Debug, Clone, Copy)]
+enum OutSlot {
+    /// A write-once payload column (ANY_VALUE), by payload index.
+    Payload(usize),
+    /// A real aggregate state, by state index.
+    State(usize),
+}
+
+/// The validated, layout-resolved plan.
+struct BoundPlan {
+    group_cols: Vec<usize>,
+    key_cols: usize,
+    /// Input column index for each payload (ANY_VALUE) column.
+    payload_args: Vec<usize>,
+    /// Real aggregates, in state order.
+    state_aggs: Vec<BoundAggregate>,
+    out_slots: Vec<OutSlot>,
+    layout: Arc<TupleDataLayout>,
+    output_types: Vec<LogicalType>,
+}
+
+fn bind_plan(plan: &HashAggregatePlan, schema: &[LogicalType]) -> Result<BoundPlan> {
+    if plan.group_cols.is_empty() {
+        return Err(Error::Unsupported(
+            "no GROUP BY columns: use ungrouped_aggregate for global aggregates".into(),
+        ));
+    }
+    for &c in &plan.group_cols {
+        if c >= schema.len() {
+            return Err(Error::InvalidInput(format!(
+                "group column {c} out of range ({} input columns)",
+                schema.len()
+            )));
+        }
+    }
+    let group_types: Vec<LogicalType> = plan.group_cols.iter().map(|&c| schema[c]).collect();
+    let mut payload_args = Vec::new();
+    let mut payload_types = Vec::new();
+    let mut state_aggs = Vec::new();
+    let mut out_slots = Vec::new();
+    let mut output_types: Vec<LogicalType> = group_types.clone();
+    for spec in &plan.aggregates {
+        let bound = bind_aggregate(*spec, schema)?;
+        output_types.push(bound.output_type);
+        if bound.spec.kind == AggKind::AnyValue {
+            out_slots.push(OutSlot::Payload(payload_args.len()));
+            payload_args.push(bound.spec.arg.unwrap());
+            payload_types.push(bound.output_type);
+        } else {
+            out_slots.push(OutSlot::State(state_aggs.len()));
+            state_aggs.push(bound);
+        }
+    }
+    let mut layout_types = group_types;
+    layout_types.extend(payload_types);
+    let layout = Arc::new(TupleDataLayout::new(
+        layout_types,
+        state_aggs.iter().map(|a| a.state_size).collect(),
+    ));
+    Ok(BoundPlan {
+        key_cols: plan.group_cols.len(),
+        group_cols: plan.group_cols.clone(),
+        payload_args,
+        state_aggs,
+        out_slots,
+        layout,
+        output_types,
+    })
+}
+
+/// Are input rows `a` and `b` equal on `cols` (NULL == NULL)? Used to detect
+/// duplicate new groups within one chunk.
+fn input_rows_equal(cols: &[&Vector], a: usize, b: usize) -> bool {
+    for col in cols {
+        let va = col.validity().is_valid(a);
+        let vb = col.validity().is_valid(b);
+        if va != vb {
+            return false;
+        }
+        if !va {
+            continue;
+        }
+        let eq = match col.data() {
+            VectorData::I32(v) => v[a] == v[b],
+            VectorData::I64(v) => v[a] == v[b],
+            VectorData::F64(v) => v[a].to_bits() == v[b].to_bits(),
+            VectorData::Str(v) => v.get(a) == v.get(b),
+        };
+        if !eq {
+            return false;
+        }
+    }
+    true
+}
+
+/// Shared sink state for phase 1.
+struct AggSink<'a> {
+    plan: &'a BoundPlan,
+    mgr: &'a Arc<BufferManager>,
+    config: &'a AggregateConfig,
+    radix_bits: u32,
+    shared: Mutex<PartitionedTupleData>,
+    rows_in: AtomicUsize,
+    resets: AtomicU64,
+}
+
+/// Thread-local phase-1 state.
+struct LocalAgg<'a> {
+    sink: &'a AggSink<'a>,
+    ht: SaltedHashTable,
+    data: PartitionedTupleData,
+    /// Per-row resolution of the current chunk: an entry-encoded value
+    /// (pending flag + ordinal, or a row pointer).
+    targets: Vec<u64>,
+    hashes: Vec<u64>,
+    new_sel: Vec<u32>,
+    pending_slots: Vec<usize>,
+    rows_in: usize,
+    resets: u64,
+}
+
+impl ParallelSink for AggSink<'_> {
+    fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
+        Ok(Box::new(LocalAgg {
+            sink: self,
+            ht: SaltedHashTable::with_capacity(self.mgr, self.config.ht_capacity)?,
+            data: PartitionedTupleData::new(self.mgr, &self.plan.layout, self.radix_bits),
+            targets: Vec::new(),
+            hashes: Vec::new(),
+            new_sel: Vec::new(),
+            pending_slots: Vec::new(),
+            rows_in: 0,
+            resets: 0,
+        }))
+    }
+}
+
+impl LocalAgg<'_> {
+    /// The reset threshold: two-thirds full by default (experimentally
+    /// determined in the paper; configurable for the ablation bench).
+    fn should_reset(&self) -> bool {
+        self.ht.count() * 100 >= self.ht.capacity() * self.sink.config.reset_fill_percent as usize
+    }
+}
+
+impl LocalSink for LocalAgg<'_> {
+    fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
+        let plan = self.sink.plan;
+        let n = chunk.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let group_views: Vec<&Vector> =
+            plan.group_cols.iter().map(|&c| chunk.column(c)).collect();
+
+        // Hash the group columns once; the hash is materialized in the row
+        // and reused by phase 2.
+        self.hashes.clear();
+        self.hashes.resize(n, 0);
+        for (ci, col) in group_views.iter().enumerate() {
+            hashing::hash_vector(col, &mut self.hashes, ci > 0);
+        }
+
+        // Probe: resolve every input row to an existing row pointer or a
+        // pending new-group ordinal.
+        self.targets.clear();
+        self.new_sel.clear();
+        self.pending_slots.clear();
+        for i in 0..n {
+            let h = self.hashes[i];
+            let mut slot = self.ht.slot(h);
+            loop {
+                let e = self.ht.entry(slot);
+                if e == 0 {
+                    let ord = self.new_sel.len();
+                    self.ht.set_entry(slot, make_pending(h, ord), true);
+                    self.pending_slots.push(slot);
+                    self.new_sel.push(i as u32);
+                    self.targets.push(make_pending(h, ord));
+                    break;
+                }
+                if salt_bits(e) == salt_bits(h) {
+                    if is_pending(e) {
+                        // A group discovered earlier in this same chunk.
+                        let ord = pending_ord(e);
+                        let j = self.new_sel[ord] as usize;
+                        if input_rows_equal(&group_views, i, j) {
+                            self.targets.push(e);
+                            break;
+                        }
+                    } else {
+                        let row = entry_ptr(e);
+                        // SAFETY: rows referenced by live entries are on
+                        // pages pinned since the last reset.
+                        if unsafe { rows_match(&plan.layout, &group_views, i, row) } {
+                            self.targets.push(e);
+                            break;
+                        }
+                    }
+                }
+                slot = self.ht.next_slot(slot);
+            }
+        }
+
+        // Materialize the new groups directly into radix partitions
+        // (column-major -> row-major conversion happens here, once).
+        let mut new_ptrs: Vec<*mut u8> = Vec::with_capacity(self.new_sel.len());
+        if !self.new_sel.is_empty() {
+            let mut layout_views = group_views.clone();
+            for &c in &plan.payload_args {
+                layout_views.push(chunk.column(c));
+            }
+            self.data
+                .append(&layout_views, &self.hashes, &self.new_sel, Some(&mut new_ptrs))?;
+            // Patch pending entries to real row pointers.
+            for (ord, &slot) in self.pending_slots.iter().enumerate() {
+                let h = self.hashes[self.new_sel[ord] as usize];
+                self.ht.set_entry(slot, make_entry(h, new_ptrs[ord]), false);
+            }
+        }
+
+        // Update aggregate states for every input row.
+        for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+            let arg = agg.spec.arg.map(|c| chunk.column(c));
+            let off = plan.layout.aggr_offset(sidx);
+            for i in 0..n {
+                let t = self.targets[i];
+                let row = if is_pending(t) {
+                    new_ptrs[pending_ord(t)]
+                } else {
+                    entry_ptr(t)
+                };
+                // SAFETY: row points into a pinned page; states are in-row.
+                unsafe { update_state(agg, row.add(off), arg, i) };
+            }
+        }
+
+        self.rows_in += n;
+
+        // Reset when two-thirds full: clear the entry array (cheap), unpin
+        // the partition pages (they become spillable).
+        if self.should_reset() {
+            self.ht.reset();
+            self.data.release_pins();
+            self.resets += 1;
+        }
+        Ok(())
+    }
+
+    fn combine(self: Box<Self>) -> Result<()> {
+        let mut data = self.data;
+        data.release_pins();
+        self.sink.shared.lock().combine(data);
+        self.sink.rows_in.fetch_add(self.rows_in, Ordering::Relaxed);
+        self.sink.resets.fetch_add(self.resets, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Aggregate one partition: pin, recompute pointers, merge duplicate groups
+/// by pointer insertion, stream outputs, destroy pages.
+fn finalize_partition(
+    plan: &BoundPlan,
+    mgr: &Arc<BufferManager>,
+    config: &AggregateConfig,
+    mut part: TupleDataCollection,
+    consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
+    groups_out: &AtomicUsize,
+) -> Result<()> {
+    if part.rows() == 0 {
+        return Ok(());
+    }
+    let pins = part.pin_all()?;
+    let layout = &plan.layout;
+    let cap = (part.rows() * 2).next_power_of_two().max(1024);
+    let mut ht = SaltedHashTable::with_capacity(mgr, cap)?;
+    let mut live: Vec<*mut u8> = Vec::new();
+    let mut ptrs: Vec<*mut u8> = Vec::new();
+    for c in 0..part.chunk_count() {
+        ptrs.clear();
+        part.chunk_row_ptrs(&pins, c, &mut ptrs);
+        for &row in &ptrs {
+            // SAFETY: the partition is pinned and pointer-recomputed.
+            let h = unsafe { layout.read_hash(row) };
+            let mut slot = ht.slot(h);
+            loop {
+                let e = ht.entry(slot);
+                if e == 0 {
+                    ht.set_entry(slot, make_entry(h, row), true);
+                    live.push(row);
+                    break;
+                }
+                if salt_bits(e) == salt_bits(h) {
+                    let existing = entry_ptr(e);
+                    // SAFETY: both rows live on pinned pages.
+                    if unsafe { row_row_match(layout, plan.key_cols, existing, row) } {
+                        for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                            let off = layout.aggr_offset(sidx);
+                            // SAFETY: states are inside the rows.
+                            unsafe { combine_state(agg, row.add(off), existing.add(off)) };
+                        }
+                        break;
+                    }
+                }
+                slot = ht.next_slot(slot);
+            }
+        }
+    }
+
+    // Emit the surviving groups ("fully aggregated partitions are
+    // immediately scanned" — pushed to the consumer, then freed).
+    for batch in live.chunks(config.output_chunk_size.max(1)) {
+        // SAFETY: batch pointers come from this collection under `pins`.
+        let gathered = unsafe { part.gather(batch) };
+        let mut columns: Vec<Vector> = gathered.columns()[..plan.key_cols].to_vec();
+        for slot in &plan.out_slots {
+            match slot {
+                OutSlot::Payload(p) => {
+                    columns.push(gathered.column(plan.key_cols + p).clone())
+                }
+                OutSlot::State(s) => {
+                    let agg = &plan.state_aggs[*s];
+                    let off = layout.aggr_offset(*s);
+                    let mut col = Vector::empty(agg.output_type);
+                    for &row in batch {
+                        // SAFETY: as above.
+                        let v = unsafe { finalize_state(agg, row.add(off)) };
+                        col.push_value(&v)?;
+                    }
+                    columns.push(col);
+                }
+            }
+        }
+        consumer(DataChunk::new(columns))?;
+    }
+    groups_out.fetch_add(live.len(), Ordering::Relaxed);
+    drop(pins);
+    drop(part); // eager destroy: memory or spill space released now
+    Ok(())
+}
+
+/// Run the full aggregation, streaming output chunks to `consumer` (which is
+/// called concurrently from the phase-2 tasks).
+pub fn hash_aggregate_streaming(
+    mgr: &Arc<BufferManager>,
+    source: &dyn ChunkSource,
+    input_schema: &[LogicalType],
+    plan: &HashAggregatePlan,
+    config: &AggregateConfig,
+    consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
+) -> Result<RunStats> {
+    assert!(
+        config.ht_capacity >= 4 * VECTOR_SIZE,
+        "phase-1 table must be at least 4x the vector size"
+    );
+    let bound = bind_plan(plan, input_schema)?;
+    let radix_bits = config.effective_radix_bits();
+    let stats_before = mgr.stats();
+
+    let sink = AggSink {
+        plan: &bound,
+        mgr,
+        config,
+        radix_bits,
+        shared: Mutex::new(PartitionedTupleData::new(mgr, &bound.layout, radix_bits)),
+        rows_in: AtomicUsize::new(0),
+        resets: AtomicU64::new(0),
+    };
+
+    let t0 = Instant::now();
+    Pipeline::run(source, &sink, config.threads)?;
+    let phase1 = t0.elapsed();
+
+    let t1 = Instant::now();
+    let shared = Mutex::new(sink.shared.into_inner());
+    let groups_out = AtomicUsize::new(0);
+    let partitions = 1usize << radix_bits;
+    parallel_for(partitions, config.threads, &|p| {
+        let part = shared.lock().take_partition(p);
+        finalize_partition(&bound, mgr, config, part, consumer, &groups_out)
+    })?;
+    let phase2 = t1.elapsed();
+
+    Ok(RunStats {
+        rows_in: sink.rows_in.load(Ordering::Relaxed),
+        groups: groups_out.load(Ordering::Relaxed),
+        partitions,
+        resets: sink.resets.load(Ordering::Relaxed),
+        phase1,
+        phase2,
+        buffer: mgr.stats().delta_since(&stats_before),
+    })
+}
+
+/// Run the aggregation and collect the output in memory (convenient for
+/// tests and small results; large results should stream).
+pub fn hash_aggregate_collect(
+    mgr: &Arc<BufferManager>,
+    source: &dyn ChunkSource,
+    input_schema: &[LogicalType],
+    plan: &HashAggregatePlan,
+    config: &AggregateConfig,
+) -> Result<(rexa_exec::ChunkCollection, RunStats)> {
+    let bound = bind_plan(plan, input_schema)?;
+    let out = Mutex::new(rexa_exec::ChunkCollection::new(bound.output_types.clone()));
+    let stats = hash_aggregate_streaming(mgr, source, input_schema, plan, config, &|chunk| {
+        out.lock().push(chunk)
+    })?;
+    Ok((out.into_inner(), stats))
+}
+
+/// The output schema (group columns then aggregates) of a plan against an
+/// input schema.
+pub fn output_schema(plan: &HashAggregatePlan, input_schema: &[LogicalType]) -> Result<Vec<LogicalType>> {
+    Ok(bind_plan(plan, input_schema)?.output_types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::{reference_aggregate, sorted_rows};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rexa_buffer::{BufferManagerConfig, EvictionPolicy};
+    use rexa_exec::pipeline::CollectionSource;
+    use rexa_exec::{ChunkCollection, Value};
+    use rexa_storage::scratch_dir;
+
+    fn mgr_with(limit: usize, page_size: usize) -> Arc<BufferManager> {
+        BufferManager::new(
+            BufferManagerConfig::with_limit(limit)
+                .page_size(page_size)
+                .policy(EvictionPolicy::Mixed)
+                .temp_dir(scratch_dir("agg").unwrap()),
+        )
+        .unwrap()
+    }
+
+    /// rows of (key % groups, value, string derived from key)
+    fn make_input(rows: usize, groups: usize, seed: u64) -> ChunkCollection {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coll = ChunkCollection::new(vec![
+            LogicalType::Int64,
+            LogicalType::Int64,
+            LogicalType::Varchar,
+        ]);
+        let mut remaining = rows;
+        while remaining > 0 {
+            let n = remaining.min(VECTOR_SIZE);
+            remaining -= n;
+            let keys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..groups) as i64).collect();
+            let vals: Vec<i64> = keys.iter().map(|k| k * 10).collect();
+            let strs: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    if k % 2 == 0 {
+                        format!("k{k}")
+                    } else {
+                        format!("group number {k} with a long string payload")
+                    }
+                })
+                .collect();
+            coll.push(DataChunk::new(vec![
+                Vector::from_i64(keys),
+                Vector::from_i64(vals),
+                Vector::from_strs(strs),
+            ]))
+            .unwrap();
+        }
+        coll
+    }
+
+    fn check_against_reference(
+        coll: &ChunkCollection,
+        plan: &HashAggregatePlan,
+        config: &AggregateConfig,
+        mgr: &Arc<BufferManager>,
+    ) -> RunStats {
+        let source = CollectionSource::new(coll);
+        let (out, stats) = hash_aggregate_collect(mgr, &source, coll.types(), plan, config)
+            .unwrap();
+        let got = sorted_rows(out.chunks());
+        let source = CollectionSource::new(coll);
+        let want =
+            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates)
+                .unwrap();
+        assert_eq!(got.len(), want.len(), "group count mismatch");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g, w);
+        }
+        assert_eq!(stats.groups, want.len());
+        stats
+    }
+
+    fn small_config(threads: usize) -> AggregateConfig {
+        AggregateConfig {
+            threads,
+            radix_bits: Some(3),
+            ht_capacity: 4 * VECTOR_SIZE, // small: force frequent resets
+            output_chunk_size: 512,
+            reset_fill_percent: 66,
+        }
+    }
+
+    #[test]
+    fn matches_reference_single_thread() {
+        let coll = make_input(20_000, 500, 1);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![
+                AggregateSpec::count_star(),
+                AggregateSpec::sum(1),
+                AggregateSpec::min(1),
+                AggregateSpec::max(1),
+                AggregateSpec::avg(1),
+            ],
+        };
+        let stats = check_against_reference(&coll, &plan, &small_config(1), &mgr);
+        assert_eq!(stats.rows_in, 20_000);
+    }
+
+    #[test]
+    fn matches_reference_multi_thread() {
+        let coll = make_input(50_000, 2_000, 2);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        for threads in [2, 4, 8] {
+            check_against_reference(&coll, &plan, &small_config(threads), &mgr);
+        }
+    }
+
+    #[test]
+    fn string_group_keys() {
+        let coll = make_input(30_000, 300, 3);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![2], // varchar column, mix of inline + heap strings
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        check_against_reference(&coll, &plan, &small_config(4), &mgr);
+    }
+
+    #[test]
+    fn multi_column_keys_with_any_value() {
+        let coll = make_input(25_000, 100, 4);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0, 2],
+            aggregates: vec![
+                AggregateSpec::any_value(2),
+                AggregateSpec::any_value(1),
+                AggregateSpec::count_star(),
+            ],
+        };
+        check_against_reference(&coll, &plan, &small_config(4), &mgr);
+    }
+
+    #[test]
+    fn all_unique_groups() {
+        // Worst case for pre-aggregation: no reduction at all.
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64]);
+        let mut k = 0i64;
+        for _ in 0..10 {
+            let keys: Vec<i64> = (0..VECTOR_SIZE as i64).map(|i| k + i).collect();
+            k += VECTOR_SIZE as i64;
+            coll.push(DataChunk::new(vec![Vector::from_i64(keys)])).unwrap();
+        }
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star()],
+        };
+        let stats = check_against_reference(&coll, &plan, &small_config(4), &mgr);
+        assert_eq!(stats.groups, 10 * VECTOR_SIZE);
+    }
+
+    #[test]
+    fn all_same_group() {
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+        for _ in 0..5 {
+            coll.push(DataChunk::new(vec![
+                Vector::from_i64(vec![7; 1000]),
+                Vector::from_i64((0..1000).collect()),
+            ]))
+            .unwrap();
+        }
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        let stats = check_against_reference(&coll, &plan, &small_config(4), &mgr);
+        assert_eq!(stats.groups, 1);
+    }
+
+    #[test]
+    fn null_group_keys_form_one_group() {
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+        let mut chunk = DataChunk::empty(coll.types());
+        for i in 0..100i64 {
+            let key = if i % 3 == 0 { Value::Null } else { Value::Int64(i % 5) };
+            chunk.push_row(&[key, Value::Int64(i)]).unwrap();
+        }
+        coll.push(chunk).unwrap();
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        check_against_reference(&coll, &plan, &small_config(2), &mgr);
+    }
+
+    #[test]
+    fn empty_input_produces_no_groups() {
+        let coll = ChunkCollection::new(vec![LogicalType::Int64]);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star()],
+        };
+        let source = CollectionSource::new(&coll);
+        let (out, stats) =
+            hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &small_config(4)).unwrap();
+        assert_eq!(out.rows(), 0);
+        assert_eq!(stats.groups, 0);
+    }
+
+    #[test]
+    fn spills_under_tight_memory_and_stays_correct() {
+        // High-cardinality aggregation with a limit far below the
+        // intermediate size: the buffer manager must spill, and the result
+        // must still be exact. This is the paper's headline behaviour.
+        let coll = make_input(60_000, 60_000, 5);
+        let approx = coll.approx_bytes();
+        // Phase 1 needs threads x partitions x 2 pinned pages; with 4 KiB
+        // pages, 4 threads and 32 partitions that is 1 MiB, below the
+        // ~1.7 MiB limit — while the ~6 MiB of intermediates exceed it.
+        let mgr = mgr_with(approx / 2, 4 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0, 2],
+            aggregates: vec![
+                AggregateSpec::count_star(),
+                AggregateSpec::sum(1),
+                AggregateSpec::any_value(2),
+            ],
+        };
+        let config = AggregateConfig {
+            threads: 4,
+            radix_bits: Some(5), // over-partitioning keeps phase 2 in memory
+            ht_capacity: 4 * VECTOR_SIZE,
+            output_chunk_size: VECTOR_SIZE,
+            reset_fill_percent: 66,
+        };
+        let stats = check_against_reference(&coll, &plan, &config, &mgr);
+        assert!(
+            stats.buffer.evictions_temporary > 0,
+            "expected spilling, got {:?}",
+            stats.buffer
+        );
+        assert!(stats.buffer.temp_bytes_written > 0);
+        assert!(stats.resets > 0, "small table must have reset");
+        // Eager destroy: after the run, no temp data is left on disk.
+        assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
+        assert_eq!(mgr.stats().temporary_resident, 0);
+    }
+
+    #[test]
+    fn graceful_error_when_phase2_partition_cannot_fit() {
+        // Pathological: 1 partition, tiny limit -> phase 2 must pin more
+        // than fits. The operator reports OOM instead of corrupting.
+        let coll = make_input(40_000, 40_000, 6);
+        let mgr = mgr_with(320 << 10, 16 << 10); // 20 pages
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star()],
+        };
+        let config = AggregateConfig {
+            threads: 2,
+            radix_bits: Some(0), // no over-partitioning: provoke the failure
+            ht_capacity: 4 * VECTOR_SIZE,
+            output_chunk_size: VECTOR_SIZE,
+            reset_fill_percent: 66,
+        };
+        let source = CollectionSource::new(&coll);
+        let err =
+            hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap_err();
+        assert!(err.is_oom(), "expected OOM, got {err}");
+    }
+
+    #[test]
+    fn output_schema_matches_plan() {
+        let schema = vec![LogicalType::Int64, LogicalType::Varchar, LogicalType::Float64];
+        let plan = HashAggregatePlan {
+            group_cols: vec![1],
+            aggregates: vec![
+                AggregateSpec::count_star(),
+                AggregateSpec::sum(2),
+                AggregateSpec::any_value(0),
+            ],
+        };
+        assert_eq!(
+            output_schema(&plan, &schema).unwrap(),
+            vec![
+                LogicalType::Varchar,
+                LogicalType::Int64,
+                LogicalType::Float64,
+                LogicalType::Int64
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_string_min() {
+        let schema = vec![LogicalType::Varchar];
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::min(0)],
+        };
+        assert!(matches!(
+            output_schema(&plan, &schema),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_group_by() {
+        let schema = vec![LogicalType::Int64];
+        let plan = HashAggregatePlan {
+            group_cols: vec![],
+            aggregates: vec![AggregateSpec::count_star()],
+        };
+        assert!(output_schema(&plan, &schema).is_err());
+    }
+
+    #[test]
+    fn deterministic_results_across_runs() {
+        let coll = make_input(30_000, 1_000, 7);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::sum(1), AggregateSpec::count_star()],
+        };
+        let run = |threads| {
+            let source = CollectionSource::new(&coll);
+            let (out, _) = hash_aggregate_collect(
+                &mgr,
+                &source,
+                coll.types(),
+                &plan,
+                &small_config(threads),
+            )
+            .unwrap();
+            sorted_rows(out.chunks())
+        };
+        let a = run(1);
+        let b = run(4);
+        let c = run(8);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

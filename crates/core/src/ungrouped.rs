@@ -1,0 +1,257 @@
+//! Ungrouped (and by extension low-cardinality) aggregation — the easy case
+//! the paper describes first (Section V, "Low Cardinality Aggregation"):
+//! thread-local pre-aggregation reduces each worker's input to a single
+//! state vector; combining one row per thread afterwards costs nothing, so
+//! a single thread does it. Memory use is constant: this path never spills.
+
+use crate::function::{
+    bind_aggregate, combine_state, finalize_state, update_state, AggKind, AggregateSpec,
+    BoundAggregate,
+};
+use parking_lot::Mutex;
+use rexa_exec::pipeline::{ChunkSource, LocalSink, ParallelSink, Pipeline};
+use rexa_exec::{DataChunk, Error, LogicalType, Result, Value};
+
+struct Bound {
+    aggs: Vec<BoundAggregate>,
+    offsets: Vec<usize>,
+    states_size: usize,
+    any_count: usize,
+}
+
+/// One thread's accumulated state.
+struct ThreadState {
+    states: Box<[u8]>,
+    any: Box<[Option<Value>]>,
+    saw_rows: bool,
+}
+
+impl ThreadState {
+    fn new(bound: &Bound) -> Self {
+        ThreadState {
+            states: vec![0u8; bound.states_size.max(1)].into_boxed_slice(),
+            any: vec![None; bound.any_count].into_boxed_slice(),
+            saw_rows: false,
+        }
+    }
+}
+
+struct UngroupedSink<'a> {
+    bound: &'a Bound,
+    merged: Mutex<ThreadState>,
+}
+
+struct LocalUngrouped<'a> {
+    sink: &'a UngroupedSink<'a>,
+    state: ThreadState,
+}
+
+impl ParallelSink for UngroupedSink<'_> {
+    fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
+        Ok(Box::new(LocalUngrouped {
+            sink: self,
+            state: ThreadState::new(self.bound),
+        }))
+    }
+}
+
+impl LocalSink for LocalUngrouped<'_> {
+    fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        self.state.saw_rows = true;
+        let mut any_idx = 0usize;
+        for (k, agg) in self.sink.bound.aggs.iter().enumerate() {
+            if agg.spec.kind == AggKind::AnyValue {
+                let slot = &mut self.state.any[any_idx];
+                any_idx += 1;
+                if slot.is_none() {
+                    *slot = Some(chunk.column(agg.spec.arg.unwrap()).value(0));
+                }
+                continue;
+            }
+            let arg = agg.spec.arg.map(|c| chunk.column(c));
+            let off = self.sink.bound.offsets[k];
+            for i in 0..chunk.len() {
+                // SAFETY: states sized at bind time; offsets in range.
+                unsafe { update_state(agg, self.state.states.as_mut_ptr().add(off), arg, i) };
+            }
+        }
+        Ok(())
+    }
+
+    fn combine(self: Box<Self>) -> Result<()> {
+        let mut merged = self.sink.merged.lock();
+        if !self.state.saw_rows {
+            return Ok(());
+        }
+        merged.saw_rows = true;
+        let mut any_idx = 0usize;
+        for (k, agg) in self.sink.bound.aggs.iter().enumerate() {
+            if agg.spec.kind == AggKind::AnyValue {
+                if merged.any[any_idx].is_none() {
+                    merged.any[any_idx] = self.state.any[any_idx].clone();
+                }
+                any_idx += 1;
+                continue;
+            }
+            let off = self.sink.bound.offsets[k];
+            // SAFETY: both state vectors share the bound layout.
+            unsafe {
+                combine_state(
+                    agg,
+                    self.state.states.as_ptr().add(off),
+                    merged.states.as_mut_ptr().add(off),
+                )
+            };
+        }
+        Ok(())
+    }
+}
+
+/// Compute aggregates over the whole input with no GROUP BY; returns exactly
+/// one row of values, in aggregate order (`COUNT(*)` of an empty input is 0;
+/// value aggregates of an empty input are NULL, per SQL).
+pub fn ungrouped_aggregate(
+    source: &dyn ChunkSource,
+    input_schema: &[LogicalType],
+    aggregates: &[AggregateSpec],
+    threads: usize,
+) -> Result<Vec<Value>> {
+    if aggregates.is_empty() {
+        return Err(Error::InvalidInput(
+            "ungrouped aggregation needs at least one aggregate".into(),
+        ));
+    }
+    let mut aggs = Vec::new();
+    let mut offsets = Vec::new();
+    let mut states_size = 0usize;
+    let mut any_count = 0usize;
+    for spec in aggregates {
+        let b = bind_aggregate(*spec, input_schema)?;
+        if b.spec.kind == AggKind::AnyValue {
+            any_count += 1;
+        }
+        offsets.push(states_size);
+        states_size += b.state_size;
+        aggs.push(b);
+    }
+    let bound = Bound {
+        aggs,
+        offsets,
+        states_size,
+        any_count,
+    };
+    let sink = UngroupedSink {
+        bound: &bound,
+        merged: Mutex::new(ThreadState::new(&bound)),
+    };
+    Pipeline::run(source, &sink, threads)?;
+
+    let merged = sink.merged.into_inner();
+    let mut row = Vec::with_capacity(bound.aggs.len());
+    let mut any_idx = 0usize;
+    for (k, agg) in bound.aggs.iter().enumerate() {
+        let v = match agg.spec.kind {
+            AggKind::AnyValue => {
+                let v = merged.any[any_idx].clone().unwrap_or(Value::Null);
+                any_idx += 1;
+                v
+            }
+            // SAFETY: state initialized at bind, updated under the layout.
+            _ => unsafe { finalize_state(agg, merged.states.as_ptr().add(bound.offsets[k])) },
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rexa_exec::pipeline::CollectionSource;
+    use rexa_exec::{ChunkCollection, Vector, VECTOR_SIZE};
+
+    fn input(rows: i64) -> ChunkCollection {
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Varchar]);
+        let mut k = 0i64;
+        while k < rows {
+            let n = (rows - k).min(VECTOR_SIZE as i64);
+            coll.push(DataChunk::new(vec![
+                Vector::from_i64((k..k + n).collect()),
+                Vector::from_strs((k..k + n).map(|i| format!("s{i}"))),
+            ]))
+            .unwrap();
+            k += n;
+        }
+        coll
+    }
+
+    #[test]
+    fn sums_counts_min_max_avg() {
+        let coll = input(10_000);
+        for threads in [1, 4] {
+            let source = CollectionSource::new(&coll);
+            let row = ungrouped_aggregate(
+                &source,
+                coll.types(),
+                &[
+                    AggregateSpec::count_star(),
+                    AggregateSpec::sum(0),
+                    AggregateSpec::min(0),
+                    AggregateSpec::max(0),
+                    AggregateSpec::avg(0),
+                    AggregateSpec::any_value(1),
+                ],
+                threads,
+            )
+            .unwrap();
+            assert_eq!(row[0], Value::Int64(10_000));
+            assert_eq!(row[1], Value::Int64((0..10_000).sum()));
+            assert_eq!(row[2], Value::Int64(0));
+            assert_eq!(row[3], Value::Int64(9_999));
+            assert_eq!(row[4], Value::Float64(9_999.0 / 2.0));
+            assert!(matches!(row[5], Value::Varchar(_)), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_sql_semantics() {
+        let coll = input(0);
+        let source = CollectionSource::new(&coll);
+        let row = ungrouped_aggregate(
+            &source,
+            coll.types(),
+            &[
+                AggregateSpec::count_star(),
+                AggregateSpec::min(0),
+                AggregateSpec::any_value(1),
+            ],
+            4,
+        )
+        .unwrap();
+        assert_eq!(row[0], Value::Int64(0));
+        assert_eq!(row[1], Value::Null);
+        assert_eq!(row[2], Value::Null);
+    }
+
+    #[test]
+    fn no_aggregates_is_an_error() {
+        let coll = input(5);
+        let source = CollectionSource::new(&coll);
+        assert!(ungrouped_aggregate(&source, coll.types(), &[], 2).is_err());
+    }
+
+    #[test]
+    fn sum_is_thread_count_invariant() {
+        let coll = input(50_000);
+        let get = |threads| {
+            let source = CollectionSource::new(&coll);
+            ungrouped_aggregate(&source, coll.types(), &[AggregateSpec::sum(0)], threads)
+                .unwrap()
+        };
+        assert_eq!(get(1), get(2));
+        assert_eq!(get(2), get(8));
+    }
+}

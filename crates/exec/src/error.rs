@@ -1,0 +1,111 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all rexa crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type shared by every rexa crate.
+#[derive(Debug)]
+pub enum Error {
+    /// A memory reservation could not be satisfied even after evicting every
+    /// evictable buffer. The robust aggregation operator is designed to avoid
+    /// this error by keeping its working set pinned below the limit; the
+    /// in-memory baseline aborts with it, reproducing the 'A' cells of the
+    /// paper's Tables II/III.
+    OutOfMemory {
+        /// Bytes the failing reservation asked for.
+        requested: usize,
+        /// The configured memory limit in bytes.
+        limit: usize,
+        /// Bytes in use at the time of the failure.
+        used: usize,
+    },
+    /// An I/O error from the database file or a temporary spill file.
+    Io(std::io::Error),
+    /// The query was cancelled, e.g. by the benchmark harness timeout
+    /// (the paper times queries out after 10 minutes; 'T' cells).
+    Cancelled,
+    /// A feature that rexa intentionally does not implement
+    /// (e.g. MIN/MAX over VARCHAR, see DESIGN.md).
+    Unsupported(String),
+    /// A caller error: mismatched types, wrong column counts, etc.
+    InvalidInput(String),
+    /// An internal invariant was violated; always a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// True if this is the out-of-memory condition.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, Error::OutOfMemory { .. })
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfMemory {
+                requested,
+                limit,
+                used,
+            } => write!(
+                f,
+                "out of memory: requested {requested} bytes with {used}/{limit} in use \
+                 and nothing left to evict"
+            ),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Unsupported(s) => write!(f, "unsupported: {s}"),
+            Error::InvalidInput(s) => write!(f, "invalid input: {s}"),
+            Error::Internal(s) => write!(f, "internal error (bug): {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_oom() {
+        let e = Error::OutOfMemory {
+            requested: 42,
+            limit: 100,
+            used: 90,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("90/100"));
+        assert!(e.is_oom());
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(!e.is_oom());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn cancelled_is_not_oom() {
+        assert!(!Error::Cancelled.is_oom());
+    }
+}

@@ -1,0 +1,272 @@
+//! Vectorized 64-bit hashing and the hash bit budget.
+//!
+//! One 64-bit hash per tuple is computed once, when the tuple first enters
+//! the aggregation, and reused everywhere after (it is materialized in the
+//! row layout). The paper carves the 64 bits into three non-overlapping
+//! regions:
+//!
+//! ```text
+//!   63 ........ 48 | 47 ...... 48-r | ...........  0
+//!   salt (16 bits) | radix (r bits) | table offset (low bits)
+//! ```
+//!
+//! * **salt** — the top 16 bits, stored in the unused upper bits of hash
+//!   table entries so most non-matching collisions are rejected without a
+//!   pointer dereference (Section V, "Salt");
+//! * **radix** — up to [`MAX_RADIX_BITS`] bits directly below the salt,
+//!   selecting the partition (Section V, "Partitioning");
+//! * **offset** — the low bits, indexing the hash table's entry array.
+//!
+//! Keeping the regions disjoint matters: reusing salt bits for partitioning
+//! would make every tuple in a partition share part of its salt, weakening
+//! collision rejection.
+
+use crate::vector::{Vector, VectorData};
+
+/// Bits of the hash used as the in-entry salt (the top 16).
+pub const SALT_BITS: u32 = 16;
+
+/// Bits of a hash-table entry used for the row pointer (x86-64/aarch64
+/// canonical user-space addresses fit in 48 bits).
+pub const POINTER_BITS: u32 = 48;
+
+/// Maximum radix partition bits, keeping the radix region inside bits
+/// `[48 - MAX_RADIX_BITS, 48)`, below the salt.
+pub const MAX_RADIX_BITS: u32 = 16;
+
+/// Hash reserved for NULL values so NULL groups hash consistently.
+const NULL_HASH: u64 = 0xbf58_476d_1ce4_e5b9;
+
+/// The salt of a hash: its top 16 bits.
+#[inline]
+pub fn salt(hash: u64) -> u16 {
+    (hash >> POINTER_BITS) as u16
+}
+
+/// The radix partition index of a hash for a given number of radix bits.
+///
+/// # Panics
+/// If `bits > MAX_RADIX_BITS` (debug only).
+#[inline]
+pub fn radix(hash: u64, bits: u32) -> usize {
+    debug_assert!(bits <= MAX_RADIX_BITS);
+    if bits == 0 {
+        return 0;
+    }
+    ((hash >> (POINTER_BITS - bits)) & ((1u64 << bits) - 1)) as usize
+}
+
+/// SplitMix64 / MurmurHash3 finalizer: a full-avalanche mix of 64 bits.
+#[inline]
+pub fn mix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// Combine two hashes (boost-style), order-sensitive.
+#[inline]
+pub fn combine_hashes(lhs: u64, rhs: u64) -> u64 {
+    lhs ^ rhs
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(lhs << 6)
+        .wrapping_add(lhs >> 2)
+}
+
+/// Hash a byte string (FNV-1a over 8-byte lanes, then finalized).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lane = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h ^ lane).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    h = (h ^ tail ^ (bytes.len() as u64) << 56).wrapping_mul(0x0000_0100_0000_01b3);
+    mix64(h)
+}
+
+/// Hash a single 64-bit lane (used for all fixed-width types).
+#[inline]
+pub fn hash_u64(v: u64) -> u64 {
+    mix64(v)
+}
+
+/// Hash every row of `col` into `hashes`. If `combine` is false the hashes
+/// are overwritten (first group column); otherwise they are combined with the
+/// existing values (subsequent group columns).
+pub fn hash_vector(col: &Vector, hashes: &mut [u64], combine: bool) {
+    assert_eq!(col.len(), hashes.len());
+    let validity = col.validity();
+    macro_rules! go {
+        ($iter:expr) => {
+            if combine {
+                for (i, h) in $iter {
+                    hashes[i] = combine_hashes(hashes[i], h);
+                }
+            } else {
+                for (i, h) in $iter {
+                    hashes[i] = h;
+                }
+            }
+        };
+    }
+    match col.data() {
+        VectorData::I32(vals) => {
+            go!(vals.iter().enumerate().map(|(i, &v)| {
+                let h = if validity.is_valid(i) {
+                    hash_u64(v as u32 as u64)
+                } else {
+                    NULL_HASH
+                };
+                (i, h)
+            }));
+        }
+        VectorData::I64(vals) => {
+            go!(vals.iter().enumerate().map(|(i, &v)| {
+                let h = if validity.is_valid(i) {
+                    hash_u64(v as u64)
+                } else {
+                    NULL_HASH
+                };
+                (i, h)
+            }));
+        }
+        VectorData::F64(vals) => {
+            go!(vals.iter().enumerate().map(|(i, &v)| {
+                let h = if validity.is_valid(i) {
+                    // Normalize -0.0 to 0.0 so equal keys hash equally.
+                    let v = if v == 0.0 { 0.0 } else { v };
+                    hash_u64(v.to_bits())
+                } else {
+                    NULL_HASH
+                };
+                (i, h)
+            }));
+        }
+        VectorData::Str(vals) => {
+            go!((0..col.len()).map(|i| {
+                let h = if validity.is_valid(i) {
+                    hash_bytes(vals.get(i).as_bytes())
+                } else {
+                    NULL_HASH
+                };
+                (i, h)
+            }));
+        }
+    }
+}
+
+/// Hash a set of group columns into one 64-bit hash per row.
+pub fn hash_columns(cols: &[&Vector], len: usize) -> Vec<u64> {
+    let mut hashes = vec![0u64; len];
+    for (ci, col) in cols.iter().enumerate() {
+        hash_vector(col, &mut hashes, ci > 0);
+    }
+    hashes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::LogicalType;
+
+    #[test]
+    fn salt_is_top_bits() {
+        assert_eq!(salt(0xABCD_0000_0000_0000), 0xABCD);
+        assert_eq!(salt(0x0000_FFFF_FFFF_FFFF), 0);
+    }
+
+    #[test]
+    fn radix_region_below_salt() {
+        let h = 0xFFFF_0000_0000_0000u64; // only salt bits set
+        for bits in 0..=MAX_RADIX_BITS {
+            assert_eq!(radix(h, bits), 0, "radix must not read salt bits");
+        }
+        let h = u64::MAX >> SALT_BITS; // all bits below the salt
+        assert_eq!(radix(h, 4), 0b1111);
+        assert_eq!(radix(h, 0), 0);
+    }
+
+    #[test]
+    fn radix_and_offset_disjoint_for_phase1_table() {
+        // Phase-1 table has 2^17 entries -> offset bits [0, 17).
+        // With max radix bits the radix region is [32, 48): disjoint.
+        let offset_mask = (1u64 << 17) - 1;
+        let h = offset_mask; // only offset bits set
+        assert_eq!(radix(h, MAX_RADIX_BITS), 0);
+    }
+
+    #[test]
+    fn mix64_avalanches() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = mix64(1);
+        let b = mix64(2);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped}");
+    }
+
+    #[test]
+    fn hash_bytes_length_sensitivity() {
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abcd"));
+        assert_ne!(hash_bytes(b"abcdefgh"), hash_bytes(b"abcdefgh\0"));
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+    }
+
+    #[test]
+    fn null_hashes_consistently() {
+        let a = Vector::from_values(LogicalType::Int64, &[Value::Null, Value::Null]).unwrap();
+        let h = hash_columns(&[&a], 2);
+        assert_eq!(h[0], h[1]);
+        let b = Vector::from_values(LogicalType::Varchar, &[Value::Null]).unwrap();
+        let h2 = hash_columns(&[&b], 1);
+        assert_eq!(h[0], h2[0], "NULL hash must be type-independent");
+    }
+
+    #[test]
+    fn null_differs_from_zero() {
+        let v = Vector::from_values(LogicalType::Int64, &[Value::Null, Value::Int64(0)]).unwrap();
+        let h = hash_columns(&[&v], 2);
+        assert_ne!(h[0], h[1]);
+    }
+
+    #[test]
+    fn multi_column_combination_is_order_sensitive() {
+        let a = Vector::from_i64(vec![1]);
+        let b = Vector::from_i64(vec![2]);
+        let h_ab = hash_columns(&[&a, &b], 1);
+        let h_ba = hash_columns(&[&b, &a], 1);
+        assert_ne!(h_ab, h_ba);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        let v = Vector::from_f64(vec![0.0, -0.0]);
+        let h = hash_columns(&[&v], 2);
+        assert_eq!(h[0], h[1]);
+    }
+
+    #[test]
+    fn i32_and_date_hash_by_value() {
+        let a = Vector::from_i32(vec![-1, 5]);
+        let d = Vector::from_dates(vec![-1, 5]);
+        assert_eq!(hash_columns(&[&a], 2), hash_columns(&[&d], 2));
+    }
+
+    #[test]
+    fn string_hash_matches_per_row() {
+        let v = Vector::from_strs(["x", "y", "x"]);
+        let h = hash_columns(&[&v], 3);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+    }
+}

@@ -1,0 +1,417 @@
+//! A small morsel-driven parallelism framework (paper Section V,
+//! "Parallelism").
+//!
+//! Data moves through a *pipeline*: a thread-safe [`ChunkSource`] hands out
+//! morsels (small fragments of the input) to worker threads, each of which
+//! streams the morsel's chunks into a thread-local [`LocalSink`]. When the
+//! source is exhausted every local sink is *combined* into the shared sink
+//! state. Blocking operators then run their second phase with
+//! [`parallel_for`], which schedules fine-grained tasks (e.g. one per radix
+//! partition) over the same worker threads.
+//!
+//! Operators are parallelism-aware (they manage local/shared state), exactly
+//! the trade-off morsel-driven parallelism makes: no exchange operators, no
+//! tuple re-routing, and work-stealing granularity of one morsel.
+
+use crate::chunk::{ChunkCollection, DataChunk};
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of chunks per morsel: 60 × 2048 ≈ 123k rows, DuckDB's morsel size.
+pub const MORSEL_CHUNKS: usize = 60;
+
+/// A thread-safe producer of input chunks. Each worker thread obtains its own
+/// [`ChunkReader`]; morsel claiming happens inside the reader so that threads
+/// contend only once per morsel, not once per chunk.
+pub trait ChunkSource: Send + Sync {
+    /// A reader for one worker thread.
+    fn reader(&self) -> Box<dyn ChunkReader + '_>;
+    /// Total rows, if known (used to size hash tables and pick radix bits).
+    fn total_rows(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A per-thread cursor over a [`ChunkSource`].
+pub trait ChunkReader: Send {
+    /// The next chunk assigned to this thread, or `None` when the source is
+    /// exhausted.
+    fn next(&mut self) -> Result<Option<DataChunk>>;
+}
+
+/// The shared side of a pipeline-breaking operator.
+pub trait ParallelSink: Send + Sync {
+    /// Create the thread-local state for one worker.
+    fn local(&self) -> Result<Box<dyn LocalSink + '_>>;
+}
+
+/// The per-thread side of a pipeline-breaking operator.
+pub trait LocalSink: Send {
+    /// Consume one chunk.
+    fn sink(&mut self, chunk: &DataChunk) -> Result<()>;
+    /// Merge this thread's state into the shared state. Called exactly once,
+    /// after the source is exhausted.
+    fn combine(self: Box<Self>) -> Result<()>;
+}
+
+/// Cooperative cancellation, used by the benchmark harness to impose the
+/// paper's query timeout.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation; readers observe it on their next chunk.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True if cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Err(Cancelled) if cancellation was requested.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(Error::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A [`ChunkSource`] over an in-memory [`ChunkCollection`].
+pub struct CollectionSource<'a> {
+    collection: &'a ChunkCollection,
+    cursor: AtomicUsize,
+    cancel: Option<CancelToken>,
+}
+
+impl<'a> CollectionSource<'a> {
+    /// Serve morsels from `collection`.
+    pub fn new(collection: &'a ChunkCollection) -> Self {
+        CollectionSource {
+            collection,
+            cursor: AtomicUsize::new(0),
+            cancel: None,
+        }
+    }
+
+    /// Serve morsels from `collection`, aborting when `cancel` fires.
+    pub fn with_cancel(collection: &'a ChunkCollection, cancel: CancelToken) -> Self {
+        CollectionSource {
+            collection,
+            cursor: AtomicUsize::new(0),
+            cancel: Some(cancel),
+        }
+    }
+}
+
+struct CollectionReader<'a> {
+    source: &'a CollectionSource<'a>,
+    /// Next chunk index within the currently claimed morsel.
+    pos: usize,
+    /// One past the last chunk of the current morsel.
+    end: usize,
+}
+
+impl ChunkReader for CollectionReader<'_> {
+    fn next(&mut self) -> Result<Option<DataChunk>> {
+        if let Some(cancel) = &self.source.cancel {
+            cancel.check()?;
+        }
+        let n = self.source.collection.chunk_count();
+        if self.pos == self.end {
+            // Claim the next morsel.
+            let start = self.source.cursor.fetch_add(MORSEL_CHUNKS, Ordering::Relaxed);
+            if start >= n {
+                return Ok(None);
+            }
+            self.pos = start;
+            self.end = (start + MORSEL_CHUNKS).min(n);
+        }
+        let chunk = self.source.collection.chunks()[self.pos].clone();
+        self.pos += 1;
+        Ok(Some(chunk))
+    }
+}
+
+impl ChunkSource for CollectionSource<'_> {
+    fn reader(&self) -> Box<dyn ChunkReader + '_> {
+        Box::new(CollectionReader {
+            source: self,
+            pos: 0,
+            end: 0,
+        })
+    }
+
+    fn total_rows(&self) -> Option<usize> {
+        Some(self.collection.rows())
+    }
+}
+
+/// The pipeline executor.
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Run `source → sink` on `threads` worker threads: every worker streams
+    /// morsels into its own local sink, then combines into the shared state.
+    /// Returns the first error raised by any worker.
+    pub fn run(source: &dyn ChunkSource, sink: &dyn ParallelSink, threads: usize) -> Result<()> {
+        let threads = threads.max(1);
+        if threads == 1 {
+            let mut reader = source.reader();
+            let mut local = sink.local()?;
+            while let Some(chunk) = reader.next()? {
+                local.sink(&chunk)?;
+            }
+            return local.combine();
+        }
+        run_on_threads(threads, &|| {
+            let mut reader = source.reader();
+            let mut local = sink.local()?;
+            while let Some(chunk) = reader.next()? {
+                local.sink(&chunk)?;
+            }
+            local.combine()
+        })
+    }
+}
+
+/// Run `tasks` independent tasks on `threads` worker threads, pulling task
+/// ids from a shared atomic counter (the second-phase scheduling pattern:
+/// tasks are radix partitions). Returns the first error.
+pub fn parallel_for(
+    tasks: usize,
+    threads: usize,
+    f: &(dyn Fn(usize) -> Result<()> + Sync),
+) -> Result<()> {
+    let threads = threads.max(1).min(tasks.max(1));
+    let next = AtomicUsize::new(0);
+    if threads == 1 {
+        while let Some(task) = claim(&next, tasks) {
+            f(task)?;
+        }
+        return Ok(());
+    }
+    run_on_threads(threads, &|| {
+        while let Some(task) = claim(&next, tasks) {
+            f(task)?;
+        }
+        Ok(())
+    })
+}
+
+fn claim(next: &AtomicUsize, tasks: usize) -> Option<usize> {
+    let t = next.fetch_add(1, Ordering::Relaxed);
+    (t < tasks).then_some(t)
+}
+
+/// Spawn `threads` scoped workers running `work`; propagate the first error,
+/// preferring "real" errors over `Cancelled` (a worker that observes another
+/// worker's failure-induced cancellation should not mask the root cause).
+fn run_on_threads(threads: usize, work: &(dyn Fn() -> Result<()> + Sync)) -> Result<()> {
+    let results: Vec<Result<()>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|_| s.spawn(work)).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(Error::Internal("worker thread panicked".into())),
+            })
+            .collect()
+    });
+    let mut first_cancel = None;
+    for r in results {
+        match r {
+            Ok(()) => {}
+            Err(Error::Cancelled) => first_cancel = Some(Error::Cancelled),
+            Err(e) => return Err(e),
+        }
+    }
+    first_cancel.map_or(Ok(()), Err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LogicalType;
+    use crate::vector::Vector;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicI64;
+
+    fn make_collection(chunks: usize, rows_per_chunk: usize) -> ChunkCollection {
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64]);
+        let mut next = 0i64;
+        for _ in 0..chunks {
+            let vals: Vec<i64> = (0..rows_per_chunk as i64).map(|i| next + i).collect();
+            next += rows_per_chunk as i64;
+            coll.push(DataChunk::new(vec![Vector::from_i64(vals)])).unwrap();
+        }
+        coll
+    }
+
+    /// A sink that sums the single int64 column; local partial sums are
+    /// folded into a shared atomic at combine time.
+    struct SumSink {
+        total: AtomicI64,
+        combines: AtomicUsize,
+    }
+
+    struct LocalSum<'a> {
+        parent: &'a SumSink,
+        sum: i64,
+    }
+
+    impl ParallelSink for SumSink {
+        fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
+            Ok(Box::new(LocalSum { parent: self, sum: 0 }))
+        }
+    }
+
+    impl LocalSink for LocalSum<'_> {
+        fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
+            self.sum += chunk.column(0).i64s().iter().sum::<i64>();
+            Ok(())
+        }
+        fn combine(self: Box<Self>) -> Result<()> {
+            self.parent.total.fetch_add(self.sum, Ordering::Relaxed);
+            self.parent.combines.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let coll = make_collection(200, 100);
+        let expected: i64 = (0..200 * 100).sum();
+        for threads in [1, 2, 4, 8] {
+            let sink = SumSink {
+                total: AtomicI64::new(0),
+                combines: AtomicUsize::new(0),
+            };
+            let source = CollectionSource::new(&coll);
+            Pipeline::run(&source, &sink, threads).unwrap();
+            assert_eq!(sink.total.load(Ordering::Relaxed), expected, "threads={threads}");
+            assert_eq!(sink.combines.load(Ordering::Relaxed), threads);
+        }
+    }
+
+    #[test]
+    fn every_chunk_is_delivered_exactly_once() {
+        let coll = make_collection(137, 3); // not a multiple of MORSEL_CHUNKS
+        let seen = Mutex::new(vec![0u32; 137 * 3]);
+
+        struct Recorder<'a> {
+            seen: &'a Mutex<Vec<u32>>,
+        }
+        struct LocalRec<'a> {
+            seen: &'a Mutex<Vec<u32>>,
+        }
+        impl ParallelSink for Recorder<'_> {
+            fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
+                Ok(Box::new(LocalRec { seen: self.seen }))
+            }
+        }
+        impl LocalSink for LocalRec<'_> {
+            fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
+                let mut seen = self.seen.lock();
+                for &v in chunk.column(0).i64s() {
+                    seen[v as usize] += 1;
+                }
+                Ok(())
+            }
+            fn combine(self: Box<Self>) -> Result<()> {
+                Ok(())
+            }
+        }
+
+        let source = CollectionSource::new(&coll);
+        Pipeline::run(&source, &Recorder { seen: &seen }, 4).unwrap();
+        assert!(seen.lock().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn sink_error_propagates() {
+        struct FailSink;
+        struct FailLocal;
+        impl ParallelSink for FailSink {
+            fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
+                Ok(Box::new(FailLocal))
+            }
+        }
+        impl LocalSink for FailLocal {
+            fn sink(&mut self, _chunk: &DataChunk) -> Result<()> {
+                Err(Error::Unsupported("boom".into()))
+            }
+            fn combine(self: Box<Self>) -> Result<()> {
+                Ok(())
+            }
+        }
+        let coll = make_collection(10, 10);
+        let source = CollectionSource::new(&coll);
+        let err = Pipeline::run(&source, &FailSink, 4).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn cancellation_stops_pipeline() {
+        let coll = make_collection(500, 100);
+        let token = CancelToken::new();
+        token.cancel();
+        let source = CollectionSource::with_cancel(&coll, token);
+        let sink = SumSink {
+            total: AtomicI64::new(0),
+            combines: AtomicUsize::new(0),
+        };
+        let err = Pipeline::run(&source, &sink, 4).unwrap_err();
+        assert!(matches!(err, Error::Cancelled));
+    }
+
+    #[test]
+    fn parallel_for_covers_all_tasks() {
+        let done: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(97, 8, &|t| {
+            done[t].fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_zero_tasks() {
+        parallel_for(0, 4, &|_| panic!("no tasks expected")).unwrap();
+    }
+
+    #[test]
+    fn parallel_for_error_wins_over_cancel() {
+        // Two tasks, two workers: each worker claims exactly one task (a
+        // worker stops after its first failure), so one observes Cancelled
+        // and the other the real error; the real error must win.
+        let err = parallel_for(2, 2, &|t| {
+            if t == 0 {
+                Err(Error::Cancelled)
+            } else {
+                Err(Error::Unsupported("specific".into()))
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn total_rows_is_reported() {
+        let coll = make_collection(3, 7);
+        let source = CollectionSource::new(&coll);
+        assert_eq!(source.total_rows(), Some(21));
+    }
+}

@@ -1,0 +1,99 @@
+//! The logical type system of the engine.
+//!
+//! rexa implements the types the paper's grouping benchmark needs:
+//! fixed-width integers, floats, dates (stored as days since epoch), and
+//! variable-length strings. Decimals (e.g. `l_quantity`) are represented as
+//! scaled 64-bit integers by the data generator, matching how analytical
+//! engines store low-precision decimals physically.
+
+use std::fmt;
+
+/// A column's logical type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicalType {
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// Calendar date, physically a 32-bit day offset from 1970-01-01.
+    Date,
+    /// Variable-length UTF-8 string. The only variable-width type; inside the
+    /// spillable row layout it becomes a 16-byte Umbra-style string
+    /// (see `rexa-layout`).
+    Varchar,
+}
+
+impl LogicalType {
+    /// Width in bytes of the *row-layout representation* of this type.
+    /// Fixed-width types store their value inline; `Varchar` stores a
+    /// 16-byte Umbra-style string struct.
+    pub const fn row_width(self) -> usize {
+        match self {
+            LogicalType::Int32 | LogicalType::Date => 4,
+            LogicalType::Int64 | LogicalType::Float64 => 8,
+            LogicalType::Varchar => 16,
+        }
+    }
+
+    /// True for types whose value data can be larger than the row slot
+    /// (strings with their character data on heap pages).
+    pub const fn is_variable(self) -> bool {
+        matches!(self, LogicalType::Varchar)
+    }
+
+    /// Short lowercase name, used in error messages and harness output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LogicalType::Int32 => "int32",
+            LogicalType::Int64 => "int64",
+            LogicalType::Float64 => "float64",
+            LogicalType::Date => "date",
+            LogicalType::Varchar => "varchar",
+        }
+    }
+}
+
+impl fmt::Display for LogicalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(LogicalType::Int32.row_width(), 4);
+        assert_eq!(LogicalType::Date.row_width(), 4);
+        assert_eq!(LogicalType::Int64.row_width(), 8);
+        assert_eq!(LogicalType::Float64.row_width(), 8);
+        assert_eq!(LogicalType::Varchar.row_width(), 16);
+    }
+
+    #[test]
+    fn variability() {
+        assert!(LogicalType::Varchar.is_variable());
+        assert!(!LogicalType::Int64.is_variable());
+        assert!(!LogicalType::Date.is_variable());
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let names = [
+            LogicalType::Int32,
+            LogicalType::Int64,
+            LogicalType::Float64,
+            LogicalType::Date,
+            LogicalType::Varchar,
+        ]
+        .map(|t| t.to_string());
+        let mut sorted = names.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

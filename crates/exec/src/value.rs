@@ -1,0 +1,144 @@
+//! Owned scalar values, used for query results, testing, and debugging.
+//! The hot paths never allocate `Value`s; they operate on vectors and rows.
+
+use crate::types::LogicalType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An owned scalar value of any [`LogicalType`], plus NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL (of any type).
+    Null,
+    /// A 32-bit integer.
+    Int32(i32),
+    /// A 64-bit integer.
+    Int64(i64),
+    /// A 64-bit float.
+    Float64(f64),
+    /// A date (days since 1970-01-01).
+    Date(i32),
+    /// A string.
+    Varchar(String),
+}
+
+impl Value {
+    /// The logical type of this value, or `None` for NULL.
+    pub fn logical_type(&self) -> Option<LogicalType> {
+        match self {
+            Value::Null => None,
+            Value::Int32(_) => Some(LogicalType::Int32),
+            Value::Int64(_) => Some(LogicalType::Int64),
+            Value::Float64(_) => Some(LogicalType::Float64),
+            Value::Date(_) => Some(LogicalType::Date),
+            Value::Varchar(_) => Some(LogicalType::Varchar),
+        }
+    }
+
+    /// True if this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total order used by tests and the sort-based baseline: NULLs first,
+    /// then by value; floats ordered by `total_cmp`.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int32(a), Int32(b)) => a.cmp(b),
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.total_cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Varchar(a), Varchar(b)) => a.cmp(b),
+            _ => panic!(
+                "total_cmp across mismatched types: {:?} vs {:?}",
+                self.logical_type(),
+                other.logical_type()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date({v})"),
+            Value::Varchar(v) => write!(f, "'{v}'"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types() {
+        assert_eq!(Value::from(3i64).logical_type(), Some(LogicalType::Int64));
+        assert_eq!(Value::from("x").logical_type(), Some(LogicalType::Varchar));
+        assert_eq!(Value::Null.logical_type(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn ordering_nulls_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int64(1)), Ordering::Less);
+        assert_eq!(Value::Int64(1).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_floats_total() {
+        let nan = Value::Float64(f64::NAN);
+        let one = Value::Float64(1.0);
+        // total_cmp puts NaN after all numbers
+        assert_eq!(nan.total_cmp(&one), Ordering::Greater);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int32(7).to_string(), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn ordering_mismatched_types_panics() {
+        let _ = Value::Int64(1).total_cmp(&Value::Varchar("x".into()));
+    }
+}

@@ -1,0 +1,37 @@
+//! `rexa-layout`: the spillable page layout for temporary query
+//! intermediates (paper Section IV).
+//!
+//! The layout satisfies the paper's four requirements:
+//!
+//! 1. **row-major, fixed-size rows** — a tuple's attributes are colocated at
+//!    offsets known globally from the [`TupleDataLayout`], so comparing group
+//!    keys touches one cache line chain and needs no per-page metadata;
+//! 2. **variable-size data on separate pages** — string bytes live on *heap
+//!    pages*, so a row page never wastes space because a long string did not
+//!    fit;
+//! 3. **explicit addressing** — rows store raw 8-byte pointers to their
+//!    string data ([`RexaString`], Umbra's 16-byte string type), the fastest
+//!    representation while everything is in memory;
+//! 4. **spillable without serialization** — pages are written to storage
+//!    byte-for-byte. When a heap page returns from disk at a different
+//!    address, the pointers in exactly the affected rows are *recomputed in
+//!    place* (`ptr - old_base + new_base`), lazily, using a small amount of
+//!    in-memory metadata that records how row ranges line up with heap pages
+//!    (paper Figure 2). Performance in RAM is unaffected: recomputation
+//!    triggers only when the stored base and the current base differ.
+//!
+//! [`TupleDataCollection`] owns the pages of one stream of materialized
+//! tuples; [`PartitionedTupleData`] fans appends out over radix partitions,
+//! which is how the aggregation operator materializes pre-aggregated groups
+//! directly into partitions.
+
+pub mod collection;
+pub mod matcher;
+pub mod partitioned;
+pub mod row_layout;
+pub mod string;
+
+pub use collection::{gather_rows, CollectionPins, TupleDataCollection};
+pub use partitioned::PartitionedTupleData;
+pub use row_layout::TupleDataLayout;
+pub use string::RexaString;

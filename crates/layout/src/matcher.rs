@@ -1,0 +1,151 @@
+//! Group-key comparison between column-major input values and a
+//! materialized row — the comparison a hash-table probe performs after the
+//! salt matched.
+
+use crate::row_layout::TupleDataLayout;
+use crate::string::RexaString;
+use rexa_exec::vector::VectorData;
+use rexa_exec::Vector;
+
+/// Compare the group-key columns of input row `input_row` against the
+/// materialized row at `row`. NULLs compare equal to NULLs (SQL GROUP BY
+/// semantics: NULL forms one group).
+///
+/// # Safety
+/// `row` must point to a live row of `layout` whose pages (row and heap) are
+/// pinned and pointer-recomputed.
+pub unsafe fn rows_match(
+    layout: &TupleDataLayout,
+    cols: &[&Vector],
+    input_row: usize,
+    row: *const u8,
+) -> bool {
+    for (c, col) in cols.iter().enumerate() {
+        let input_valid = col.validity().is_valid(input_row);
+        let row_valid = layout.is_valid(row, c);
+        if input_valid != row_valid {
+            return false;
+        }
+        if !input_valid {
+            continue; // NULL == NULL for grouping
+        }
+        let slot = row.add(layout.offset(c));
+        let eq = match col.data() {
+            VectorData::I32(v) => {
+                std::ptr::read_unaligned(slot as *const i32) == v[input_row]
+            }
+            VectorData::I64(v) => {
+                std::ptr::read_unaligned(slot as *const i64) == v[input_row]
+            }
+            VectorData::F64(v) => {
+                // Bitwise comparison: groups were materialized from the same
+                // domain, and NaN != NaN must still form one group.
+                std::ptr::read_unaligned(slot as *const u64) == v[input_row].to_bits()
+            }
+            VectorData::Str(v) => {
+                RexaString::read_from(slot).eq_bytes(v.get(input_row).as_bytes())
+            }
+        };
+        if !eq {
+            return false;
+        }
+    }
+    true
+}
+
+/// Compare the first `key_cols` columns of two materialized rows (used in
+/// phase 2, where both sides are rows; payload columns after the keys are
+/// not compared).
+///
+/// # Safety
+/// Both pointers must address live rows of `layout`, pinned and recomputed.
+pub unsafe fn row_row_match(
+    layout: &TupleDataLayout,
+    key_cols: usize,
+    a: *const u8,
+    b: *const u8,
+) -> bool {
+    for c in 0..key_cols {
+        let av = layout.is_valid(a, c);
+        let bv = layout.is_valid(b, c);
+        if av != bv {
+            return false;
+        }
+        if !av {
+            continue;
+        }
+        let sa = a.add(layout.offset(c));
+        let sb = b.add(layout.offset(c));
+        let ty = layout.types()[c];
+        let eq = match ty {
+            rexa_exec::LogicalType::Int32 | rexa_exec::LogicalType::Date => {
+                std::ptr::read_unaligned(sa as *const i32)
+                    == std::ptr::read_unaligned(sb as *const i32)
+            }
+            rexa_exec::LogicalType::Int64 | rexa_exec::LogicalType::Float64 => {
+                std::ptr::read_unaligned(sa as *const u64)
+                    == std::ptr::read_unaligned(sb as *const u64)
+            }
+            rexa_exec::LogicalType::Varchar => {
+                let ra = RexaString::read_from(sa);
+                let rb = RexaString::read_from(sb);
+                ra.eq_bytes(rb.as_bytes())
+            }
+        };
+        if !eq {
+            return false;
+        }
+    }
+    true
+}
+
+/// Compare the first `key_cols` columns of two rows that live in *different*
+/// layouts (e.g. a join's build and probe rows). The key columns must have
+/// identical types in both layouts, in the same order, but offsets may
+/// differ (validity width depends on the total column count).
+///
+/// # Safety
+/// `a` must be a live row of `layout_a` and `b` of `layout_b`, both pinned
+/// and pointer-recomputed.
+pub unsafe fn row_row_match_cross(
+    layout_a: &TupleDataLayout,
+    layout_b: &TupleDataLayout,
+    key_cols: usize,
+    a: *const u8,
+    b: *const u8,
+) -> bool {
+    debug_assert!(key_cols <= layout_a.column_count());
+    debug_assert!(key_cols <= layout_b.column_count());
+    for c in 0..key_cols {
+        debug_assert_eq!(layout_a.types()[c], layout_b.types()[c]);
+        let av = layout_a.is_valid(a, c);
+        let bv = layout_b.is_valid(b, c);
+        if av != bv {
+            return false;
+        }
+        if !av {
+            continue;
+        }
+        let sa = a.add(layout_a.offset(c));
+        let sb = b.add(layout_b.offset(c));
+        let eq = match layout_a.types()[c] {
+            rexa_exec::LogicalType::Int32 | rexa_exec::LogicalType::Date => {
+                std::ptr::read_unaligned(sa as *const i32)
+                    == std::ptr::read_unaligned(sb as *const i32)
+            }
+            rexa_exec::LogicalType::Int64 | rexa_exec::LogicalType::Float64 => {
+                std::ptr::read_unaligned(sa as *const u64)
+                    == std::ptr::read_unaligned(sb as *const u64)
+            }
+            rexa_exec::LogicalType::Varchar => {
+                let ra = RexaString::read_from(sa);
+                let rb = RexaString::read_from(sb);
+                ra.eq_bytes(rb.as_bytes())
+            }
+        };
+        if !eq {
+            return false;
+        }
+    }
+    true
+}

@@ -1,0 +1,230 @@
+//! The fixed-size row format.
+//!
+//! Types — and therefore the width and offset of every attribute — are known
+//! when the plan is generated, so this information is stored **once,
+//! globally** in a [`TupleDataLayout`], not per page (paper Section IV).
+//!
+//! Row format:
+//!
+//! ```text
+//! [ validity bits: ceil(ncols/8) bytes ]
+//! [ hash: 8 bytes ]                       -- computed once, reused in phase 2
+//! [ col 0 ][ col 1 ] ...                  -- fixed widths; Varchar = 16-byte RexaString
+//! [ agg state 0 ][ agg state 1 ] ...      -- opaque fixed-size aggregate states
+//! (row width rounded up to 8 bytes)
+//! ```
+//!
+//! Attributes are read and written with unaligned loads/stores, so no
+//! intra-row padding is needed.
+
+use rexa_exec::LogicalType;
+
+/// The global row layout: column types, aggregate-state sizes, and the
+/// resulting offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleDataLayout {
+    types: Vec<LogicalType>,
+    aggr_sizes: Vec<usize>,
+    validity_bytes: usize,
+    hash_offset: usize,
+    offsets: Vec<usize>,
+    aggr_offsets: Vec<usize>,
+    row_width: usize,
+    var_cols: Vec<usize>,
+}
+
+impl TupleDataLayout {
+    /// Build a layout for `types` columns followed by opaque aggregate states
+    /// of the given byte sizes.
+    pub fn new(types: Vec<LogicalType>, aggr_sizes: Vec<usize>) -> Self {
+        assert!(!types.is_empty(), "a row needs at least one column");
+        let validity_bytes = types.len().div_ceil(8);
+        let hash_offset = validity_bytes;
+        let mut pos = hash_offset + 8;
+        let mut offsets = Vec::with_capacity(types.len());
+        let mut var_cols = Vec::new();
+        for (i, &ty) in types.iter().enumerate() {
+            offsets.push(pos);
+            pos += ty.row_width();
+            if ty.is_variable() {
+                var_cols.push(i);
+            }
+        }
+        let mut aggr_offsets = Vec::with_capacity(aggr_sizes.len());
+        for &sz in &aggr_sizes {
+            aggr_offsets.push(pos);
+            pos += sz;
+        }
+        let row_width = pos.next_multiple_of(8);
+        TupleDataLayout {
+            types,
+            aggr_sizes,
+            validity_bytes,
+            hash_offset,
+            offsets,
+            aggr_offsets,
+            row_width,
+            var_cols,
+        }
+    }
+
+    /// The column types.
+    pub fn types(&self) -> &[LogicalType] {
+        &self.types
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Byte offset of column `i` within a row.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Byte offset of the materialized hash.
+    pub fn hash_offset(&self) -> usize {
+        self.hash_offset
+    }
+
+    /// Byte offset of aggregate state `i`.
+    pub fn aggr_offset(&self, i: usize) -> usize {
+        self.aggr_offsets[i]
+    }
+
+    /// Number of aggregate states.
+    pub fn aggr_count(&self) -> usize {
+        self.aggr_sizes.len()
+    }
+
+    /// The fixed row width (multiple of 8).
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Indices of the Varchar columns (the ones with heap pointers).
+    pub fn var_cols(&self) -> &[usize] {
+        &self.var_cols
+    }
+
+    /// The `(offset, length)` of the aggregate-state region of a row. Pages
+    /// are handed out uninitialized, so the scatter path zeroes exactly this
+    /// region when a row is created (aggregate states rely on starting at 0).
+    pub fn aggr_region(&self) -> (usize, usize) {
+        match self.aggr_offsets.first() {
+            Some(&first) => (first, self.aggr_sizes.iter().sum()),
+            None => (0, 0),
+        }
+    }
+
+    /// True if any column stores heap pointers.
+    pub fn has_heap(&self) -> bool {
+        !self.var_cols.is_empty()
+    }
+
+    // ---- raw row accessors (all unaligned, all bounds-unchecked) ----------
+
+    /// Read the materialized hash of the row at `row`.
+    ///
+    /// # Safety
+    /// `row` must point to a live row of this layout.
+    #[inline]
+    pub unsafe fn read_hash(&self, row: *const u8) -> u64 {
+        std::ptr::read_unaligned(row.add(self.hash_offset) as *const u64)
+    }
+
+    /// Write the materialized hash.
+    ///
+    /// # Safety
+    /// `row` must point to a writable row of this layout.
+    #[inline]
+    pub unsafe fn write_hash(&self, row: *mut u8, hash: u64) {
+        std::ptr::write_unaligned(row.add(self.hash_offset) as *mut u64, hash);
+    }
+
+    /// Whether column `col` of the row is valid (non-NULL).
+    ///
+    /// # Safety
+    /// `row` must point to a live row of this layout.
+    #[inline]
+    pub unsafe fn is_valid(&self, row: *const u8, col: usize) -> bool {
+        (*row.add(col / 8) >> (col % 8)) & 1 == 1
+    }
+
+    /// Set column `col`'s validity bit.
+    ///
+    /// # Safety
+    /// `row` must point to a writable row of this layout.
+    #[inline]
+    pub unsafe fn set_valid(&self, row: *mut u8, col: usize, valid: bool) {
+        let byte = row.add(col / 8);
+        if valid {
+            *byte |= 1 << (col % 8);
+        } else {
+            *byte &= !(1 << (col % 8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_packed_in_order() {
+        let l = TupleDataLayout::new(
+            vec![LogicalType::Int32, LogicalType::Varchar, LogicalType::Int64],
+            vec![8, 16],
+        );
+        // 3 cols -> 1 validity byte, hash at 1, cols from 9.
+        assert_eq!(l.hash_offset(), 1);
+        assert_eq!(l.offset(0), 9);
+        assert_eq!(l.offset(1), 13);
+        assert_eq!(l.offset(2), 29);
+        assert_eq!(l.aggr_offset(0), 37);
+        assert_eq!(l.aggr_offset(1), 45);
+        assert_eq!(l.row_width(), 64); // 61 rounded up
+        assert_eq!(l.var_cols(), &[1]);
+        assert!(l.has_heap());
+    }
+
+    #[test]
+    fn nine_columns_need_two_validity_bytes() {
+        let l = TupleDataLayout::new(vec![LogicalType::Int32; 9], vec![]);
+        assert_eq!(l.hash_offset(), 2);
+        assert_eq!(l.offset(0), 10);
+        assert!(!l.has_heap());
+        assert_eq!(l.aggr_count(), 0);
+    }
+
+    #[test]
+    fn row_width_is_multiple_of_8() {
+        for n in 1..6 {
+            let l = TupleDataLayout::new(vec![LogicalType::Int32; n], vec![1]);
+            assert_eq!(l.row_width() % 8, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn hash_and_validity_round_trip() {
+        let l = TupleDataLayout::new(vec![LogicalType::Int64, LogicalType::Int64], vec![]);
+        let mut row = vec![0u8; l.row_width()];
+        unsafe {
+            l.write_hash(row.as_mut_ptr(), 0xDEAD_BEEF_CAFE_F00D);
+            l.set_valid(row.as_mut_ptr(), 0, true);
+            l.set_valid(row.as_mut_ptr(), 1, false);
+            assert_eq!(l.read_hash(row.as_ptr()), 0xDEAD_BEEF_CAFE_F00D);
+            assert!(l.is_valid(row.as_ptr(), 0));
+            assert!(!l.is_valid(row.as_ptr(), 1));
+            l.set_valid(row.as_mut_ptr(), 1, true);
+            assert!(l.is_valid(row.as_ptr(), 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_layout_panics() {
+        TupleDataLayout::new(vec![], vec![]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Umbra-style 16-byte strings (paper Section IV, "Variable-Size Row").
+//!
+//! The first 4 bytes store the length. Strings of at most 12 bytes are
+//! inlined entirely; longer strings keep a 4-byte prefix inline (so most
+//! mismatching comparisons resolve without a dereference) plus an explicit
+//! pointer to the full bytes on a heap page. The pointer is what the
+//! collection's lazy recomputation adjusts after a spill/reload cycle.
+
+/// Maximum length that is stored fully inline.
+pub const INLINE_LEN: usize = 12;
+
+/// A 16-byte string reference: length, 4-byte prefix, and either 8 more
+/// inline bytes or a pointer to the full data.
+#[derive(Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct RexaString {
+    len: u32,
+    prefix: [u8; 4],
+    /// Inline: bytes 4..12 of the string (zero-padded).
+    /// Non-inline: the address of the full string bytes.
+    rest: u64,
+}
+
+impl RexaString {
+    /// Size of the struct: the fixed row slot a Varchar occupies.
+    pub const WIDTH: usize = 16;
+
+    /// Build an inline string (length must be ≤ [`INLINE_LEN`]).
+    pub fn inline(s: &[u8]) -> RexaString {
+        debug_assert!(s.len() <= INLINE_LEN);
+        let mut prefix = [0u8; 4];
+        let p = s.len().min(4);
+        prefix[..p].copy_from_slice(&s[..p]);
+        let mut rest_bytes = [0u8; 8];
+        if s.len() > 4 {
+            rest_bytes[..s.len() - 4].copy_from_slice(&s[4..]);
+        }
+        RexaString {
+            len: s.len() as u32,
+            prefix,
+            rest: u64::from_le_bytes(rest_bytes),
+        }
+    }
+
+    /// Build a non-inline string whose full bytes live at `ptr`.
+    ///
+    /// # Safety
+    /// `ptr` must point to `s.len()` bytes equal to `s` and stay valid (or be
+    /// recomputed) for as long as the string is read through this struct.
+    pub unsafe fn pointed(s: &[u8], ptr: *const u8) -> RexaString {
+        debug_assert!(s.len() > INLINE_LEN);
+        let mut prefix = [0u8; 4];
+        prefix.copy_from_slice(&s[..4]);
+        RexaString {
+            len: s.len() as u32,
+            prefix,
+            rest: ptr as u64,
+        }
+    }
+
+    /// The string length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True for the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if the bytes are fully inline (no heap pointer).
+    pub fn is_inlined(&self) -> bool {
+        self.len as usize <= INLINE_LEN
+    }
+
+    /// The heap pointer of a non-inline string.
+    pub fn pointer(&self) -> u64 {
+        debug_assert!(!self.is_inlined());
+        self.rest
+    }
+
+    /// Replace the heap pointer (pointer recomputation after a reload).
+    pub fn set_pointer(&mut self, ptr: u64) {
+        debug_assert!(!self.is_inlined());
+        self.rest = ptr;
+    }
+
+    /// The string bytes.
+    ///
+    /// # Safety
+    /// For non-inline strings the heap pointer must be valid (heap page
+    /// pinned and recomputed).
+    pub unsafe fn as_bytes(&self) -> &[u8] {
+        if self.is_inlined() {
+            // Inline bytes live in `prefix` + `rest`, which are contiguous
+            // in this #[repr(C)] struct.
+            std::slice::from_raw_parts(self.prefix.as_ptr(), self.len())
+        } else {
+            std::slice::from_raw_parts(self.rest as *const u8, self.len())
+        }
+    }
+
+    /// Compare against `s`, using length and prefix to reject cheaply.
+    ///
+    /// # Safety
+    /// Same requirement as [`RexaString::as_bytes`].
+    pub unsafe fn eq_bytes(&self, s: &[u8]) -> bool {
+        if self.len() != s.len() {
+            return false;
+        }
+        if self.is_inlined() {
+            return self.as_bytes() == s;
+        }
+        if self.prefix != s[..4] {
+            return false;
+        }
+        self.as_bytes() == s
+    }
+
+    /// Read a `RexaString` from a (possibly unaligned) row slot.
+    ///
+    /// # Safety
+    /// `src` must point to 16 readable bytes holding a `RexaString`.
+    pub unsafe fn read_from(src: *const u8) -> RexaString {
+        std::ptr::read_unaligned(src as *const RexaString)
+    }
+
+    /// Write this `RexaString` to a (possibly unaligned) row slot.
+    ///
+    /// # Safety
+    /// `dst` must point to 16 writable bytes.
+    pub unsafe fn write_to(&self, dst: *mut u8) {
+        std::ptr::write_unaligned(dst as *mut RexaString, *self);
+    }
+}
+
+impl std::fmt::Debug for RexaString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_inlined() {
+            // SAFETY: inline strings need no heap.
+            let bytes = unsafe { self.as_bytes() };
+            write!(f, "RexaString(inline, {:?})", String::from_utf8_lossy(bytes))
+        } else {
+            write!(
+                f,
+                "RexaString(len={}, prefix={:?}, ptr={:#x})",
+                self.len,
+                String::from_utf8_lossy(&self.prefix),
+                self.rest
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<RexaString>(), RexaString::WIDTH);
+    }
+
+    #[test]
+    fn inline_round_trip() {
+        for s in ["", "a", "abcd", "abcde", "twelve chars"] {
+            let r = RexaString::inline(s.as_bytes());
+            assert!(r.is_inlined());
+            assert_eq!(unsafe { r.as_bytes() }, s.as_bytes(), "{s:?}");
+            assert!(unsafe { r.eq_bytes(s.as_bytes()) });
+        }
+    }
+
+    #[test]
+    fn inline_inequality() {
+        let r = RexaString::inline(b"hello");
+        unsafe {
+            assert!(!r.eq_bytes(b"hellx"));
+            assert!(!r.eq_bytes(b"hell"));
+            assert!(!r.eq_bytes(b"hello!"));
+        }
+    }
+
+    #[test]
+    fn pointed_round_trip() {
+        let data = b"a string that is too long to inline".to_vec();
+        let r = unsafe { RexaString::pointed(&data, data.as_ptr()) };
+        assert!(!r.is_inlined());
+        assert_eq!(r.len(), data.len());
+        unsafe {
+            assert_eq!(r.as_bytes(), &data[..]);
+            assert!(r.eq_bytes(&data));
+            assert!(!r.eq_bytes(b"a string that is too long to inlinX"));
+            // Prefix rejection: same length, different first 4 bytes.
+            let other = b"B string that is too long to inline";
+            assert!(!r.eq_bytes(other));
+        }
+    }
+
+    #[test]
+    fn pointer_recomputation_simulation() {
+        let data = b"thirteen chars".to_vec(); // 14 bytes, not inline
+        let mut r = unsafe { RexaString::pointed(&data, data.as_ptr()) };
+        // Simulate a page reload: data moves.
+        let moved = data.clone();
+        let old_base = data.as_ptr() as u64;
+        let new_base = moved.as_ptr() as u64;
+        r.set_pointer(r.pointer() - old_base + new_base);
+        drop(data);
+        assert_eq!(unsafe { r.as_bytes() }, &moved[..]);
+    }
+
+    #[test]
+    fn unaligned_row_slot_round_trip() {
+        let mut slot = vec![0u8; 17];
+        let r = RexaString::inline(b"hi there");
+        unsafe {
+            r.write_to(slot.as_mut_ptr().add(1)); // deliberately unaligned
+            let back = RexaString::read_from(slot.as_ptr().add(1));
+            assert_eq!(back.as_bytes(), b"hi there");
+        }
+    }
+
+    #[test]
+    fn twelve_is_inline_thirteen_is_not() {
+        let r12 = RexaString::inline(b"123456789012");
+        assert!(r12.is_inlined());
+        let bytes = b"1234567890123".to_vec();
+        let r13 = unsafe { RexaString::pointed(&bytes, bytes.as_ptr()) };
+        assert!(!r13.is_inlined());
+    }
+}

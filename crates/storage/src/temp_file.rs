@@ -1,0 +1,288 @@
+//! Temporary spill files (paper Section III, "Temporary Data").
+//!
+//! Fixed-size temporary pages are swapped in and out of one slotted temp
+//! file; freed slots are recycled so the file stays as small as the peak
+//! spilled working set. Variable-size buffers are each written to their own
+//! file, created on spill and deleted on load or destroy.
+
+use parking_lot::Mutex;
+use rexa_exec::{Error, Result};
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A slot index in the fixed-size temp file.
+pub type SlotId = u64;
+
+/// Identifier of a variable-size spill file.
+pub type VarId = u64;
+
+#[derive(Debug, Default)]
+struct SlottedFile {
+    file: Option<File>,
+    free: Vec<SlotId>,
+    next: SlotId,
+}
+
+/// Manages all spill files in one directory.
+#[derive(Debug)]
+pub struct TempFileManager {
+    dir: PathBuf,
+    page_size: usize,
+    slotted: Mutex<SlottedFile>,
+    next_var: AtomicU64,
+    /// Bytes currently occupied on disk by spilled data (fixed slots in use
+    /// plus live variable-size files). This is the "size of the temporary
+    /// file" series in the paper's Figure 4.
+    bytes_on_disk: AtomicU64,
+    /// Cumulative bytes ever written to temp storage.
+    bytes_written: AtomicU64,
+    /// Cumulative bytes ever read back from temp storage.
+    bytes_read: AtomicU64,
+}
+
+impl TempFileManager {
+    /// Create a manager that spills into `dir` (created if absent).
+    pub fn new(dir: PathBuf, page_size: usize) -> Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(TempFileManager {
+            dir,
+            page_size,
+            slotted: Mutex::new(SlottedFile::default()),
+            next_var: AtomicU64::new(0),
+            bytes_on_disk: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// The page size for fixed slots.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Bytes currently occupied on disk by spilled data.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.bytes_on_disk.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes written to temp storage.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes read back from temp storage.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Spill one fixed-size page; returns the slot it was written to.
+    pub fn write_slot(&self, data: &[u8]) -> Result<SlotId> {
+        if data.len() != self.page_size {
+            return Err(Error::InvalidInput(format!(
+                "spill of {} bytes to a temp file with slot size {}",
+                data.len(),
+                self.page_size
+            )));
+        }
+        let mut inner = self.slotted.lock();
+        if inner.file.is_none() {
+            let path = self.dir.join("rexa.tmp");
+            inner.file = Some(
+                OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(path)?,
+            );
+        }
+        let slot = inner.free.pop().unwrap_or_else(|| {
+            let s = inner.next;
+            inner.next += 1;
+            s
+        });
+        let offset = slot * self.page_size as u64;
+        inner.file.as_ref().unwrap().write_all_at(data, offset)?;
+        drop(inner);
+        self.bytes_on_disk
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        Ok(slot)
+    }
+
+    /// Load a spilled fixed-size page back and free its slot (the in-memory
+    /// copy becomes the only copy: temporary pages may be mutated after
+    /// reload, so the disk copy must not be trusted afterwards).
+    pub fn read_slot(&self, slot: SlotId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(Error::InvalidInput("read buffer size mismatch".into()));
+        }
+        let mut inner = self.slotted.lock();
+        let file = inner
+            .file
+            .as_ref()
+            .ok_or_else(|| Error::Internal("read_slot before any spill".into()))?;
+        file.read_exact_at(buf, slot * self.page_size as u64)?;
+        inner.free.push(slot);
+        drop(inner);
+        self.bytes_on_disk
+            .fetch_sub(self.page_size as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Free a slot without reading it (the page was destroyed while spilled —
+    /// "this frees up disk space if the page was spilled").
+    pub fn free_slot(&self, slot: SlotId) {
+        self.slotted.lock().free.push(slot);
+        self.bytes_on_disk
+            .fetch_sub(self.page_size as u64, Ordering::Relaxed);
+    }
+
+    fn var_path(&self, id: VarId) -> PathBuf {
+        self.dir.join(format!("rexa-var-{id}.tmp"))
+    }
+
+    /// Spill a variable-size buffer to its own file.
+    pub fn write_var(&self, data: &[u8]) -> Result<VarId> {
+        let id = self.next_var.fetch_add(1, Ordering::Relaxed);
+        std::fs::write(self.var_path(id), data)?;
+        self.bytes_on_disk
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Load a spilled variable-size buffer back and delete its file.
+    pub fn read_var(&self, id: VarId, buf: &mut [u8]) -> Result<()> {
+        let path = self.var_path(id);
+        let file = File::open(&path)?;
+        file.read_exact_at(buf, 0)?;
+        drop(file);
+        std::fs::remove_file(&path)?;
+        self.bytes_on_disk
+            .fetch_sub(buf.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Delete a spilled variable-size buffer without reading it.
+    pub fn free_var(&self, id: VarId, size: usize) -> Result<()> {
+        std::fs::remove_file(self.var_path(id))?;
+        self.bytes_on_disk
+            .fetch_sub(size as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+
+    fn fresh(page_size: usize) -> TempFileManager {
+        TempFileManager::new(scratch_dir("tmpfile").unwrap(), page_size).unwrap()
+    }
+
+    #[test]
+    fn slot_round_trip_and_recycling() {
+        let t = fresh(256);
+        let a = vec![1u8; 256];
+        let b = vec![2u8; 256];
+        let sa = t.write_slot(&a).unwrap();
+        let sb = t.write_slot(&b).unwrap();
+        assert_ne!(sa, sb);
+        assert_eq!(t.bytes_on_disk(), 512);
+
+        let mut buf = vec![0u8; 256];
+        t.read_slot(sa, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        assert_eq!(t.bytes_on_disk(), 256);
+
+        // The freed slot is reused for the next spill.
+        let sc = t.write_slot(&b).unwrap();
+        assert_eq!(sc, sa);
+        assert_eq!(t.bytes_on_disk(), 512);
+    }
+
+    #[test]
+    fn free_slot_without_read() {
+        let t = fresh(128);
+        let s = t.write_slot(&[9u8; 128]).unwrap();
+        t.free_slot(s);
+        assert_eq!(t.bytes_on_disk(), 0);
+        assert_eq!(t.write_slot(&[7u8; 128]).unwrap(), s);
+    }
+
+    #[test]
+    fn variable_size_round_trip() {
+        let t = fresh(128);
+        let data = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect::<Vec<_>>();
+        let id = t.write_var(&data).unwrap();
+        assert_eq!(t.bytes_on_disk(), data.len() as u64);
+
+        let mut buf = vec![0u8; data.len()];
+        t.read_var(id, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(t.bytes_on_disk(), 0);
+        // The file must be gone.
+        assert!(t.read_var(id, &mut buf).is_err());
+    }
+
+    #[test]
+    fn free_var_deletes_file() {
+        let t = fresh(128);
+        let id = t.write_var(&[1, 2, 3]).unwrap();
+        t.free_var(id, 3).unwrap();
+        assert_eq!(t.bytes_on_disk(), 0);
+        let mut buf = vec![0u8; 3];
+        assert!(t.read_var(id, &mut buf).is_err());
+    }
+
+    #[test]
+    fn cumulative_io_counters() {
+        let t = fresh(64);
+        let s = t.write_slot(&[0u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        t.read_slot(s, &mut buf).unwrap();
+        t.write_var(&[0u8; 10]).unwrap();
+        assert_eq!(t.bytes_written(), 74);
+        assert_eq!(t.bytes_read(), 64);
+    }
+
+    #[test]
+    fn wrong_size_spill_rejected() {
+        let t = fresh(64);
+        assert!(t.write_slot(&[0u8; 63]).is_err());
+        let mut buf = vec![0u8; 63];
+        let s = t.write_slot(&[0u8; 64]).unwrap();
+        assert!(t.read_slot(s, &mut buf).is_err());
+    }
+
+    #[test]
+    fn concurrent_slot_traffic() {
+        let t = std::sync::Arc::new(fresh(64));
+        std::thread::scope(|s| {
+            for thread in 0..8u8 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let fill = thread.wrapping_mul(31).wrapping_add(i);
+                        let data = vec![fill; 64];
+                        let slot = t.write_slot(&data).unwrap();
+                        let mut buf = vec![0u8; 64];
+                        t.read_slot(slot, &mut buf).unwrap();
+                        assert_eq!(buf, data, "thread {thread} iter {i}");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.bytes_on_disk(), 0);
+    }
+}

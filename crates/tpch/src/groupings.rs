@@ -1,0 +1,159 @@
+//! The grouping benchmark (paper Section VI, Table I).
+//!
+//! Thirteen `GROUP BY` column combinations over `lineitem`, ordered by
+//! increasing memory pressure, each in a *thin* variant (select only the
+//! group columns) and a *wide* variant (additionally `ANY_VALUE` over every
+//! other column). The paper's benchmark query appends `OFFSET N-1` so the
+//! engine must materialize every group while the client transfers one row;
+//! the harness reproduces this by streaming all output and keeping only the
+//! final row.
+//!
+//! The body of Table I is not part of the provided paper text; the
+//! combinations here are reconstructed from the prose constraints
+//! (grouping 1 = returnflag+linestatus, grouping 4 = orderkey only,
+//! grouping 13 = suppkey+partkey+orderkey; see DESIGN.md).
+
+use crate::lineitem::LineitemColumn;
+
+/// One benchmark grouping: an id (1-based, as in the paper) and the group-by
+/// columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grouping {
+    /// 1-based id, matching the paper's tables.
+    pub id: usize,
+    /// The GROUP BY columns.
+    pub columns: &'static [LineitemColumn],
+}
+
+use LineitemColumn as C;
+
+/// The thirteen groupings (reconstructed Table I).
+pub const GROUPINGS: [Grouping; 13] = [
+    Grouping {
+        id: 1,
+        columns: &[C::ReturnFlag, C::LineStatus],
+    },
+    Grouping {
+        id: 2,
+        columns: &[C::ReturnFlag, C::LineStatus, C::ShipMode],
+    },
+    Grouping {
+        id: 3,
+        columns: &[C::ShipDate],
+    },
+    Grouping {
+        id: 4,
+        columns: &[C::OrderKey],
+    },
+    Grouping {
+        id: 5,
+        columns: &[C::ShipDate, C::ShipMode],
+    },
+    Grouping {
+        id: 6,
+        columns: &[C::ShipDate, C::SuppKey],
+    },
+    Grouping {
+        id: 7,
+        columns: &[C::PartKey],
+    },
+    Grouping {
+        id: 8,
+        columns: &[C::SuppKey, C::PartKey],
+    },
+    Grouping {
+        id: 9,
+        columns: &[C::ShipDate, C::PartKey],
+    },
+    Grouping {
+        id: 10,
+        columns: &[C::OrderKey, C::LineNumber],
+    },
+    Grouping {
+        id: 11,
+        columns: &[C::OrderKey, C::SuppKey],
+    },
+    Grouping {
+        id: 12,
+        columns: &[C::PartKey, C::OrderKey],
+    },
+    Grouping {
+        id: 13,
+        columns: &[C::SuppKey, C::PartKey, C::OrderKey],
+    },
+];
+
+impl Grouping {
+    /// The grouping with the given 1-based id.
+    pub fn by_id(id: usize) -> Option<Grouping> {
+        GROUPINGS.get(id.checked_sub(1)?).copied()
+    }
+
+    /// Input column indices of the group-by columns.
+    pub fn group_col_indices(&self) -> Vec<usize> {
+        self.columns.iter().map(|c| c.index()).collect()
+    }
+
+    /// Input column indices of all *other* columns — the ones the wide
+    /// variant selects with `ANY_VALUE`.
+    pub fn other_col_indices(&self) -> Vec<usize> {
+        LineitemColumn::ALL
+            .iter()
+            .filter(|c| !self.columns.contains(c))
+            .map(|c| c.index())
+            .collect()
+    }
+
+    /// A SQL-ish description, e.g. `GROUP BY l_returnflag, l_linestatus`.
+    pub fn describe(&self) -> String {
+        let cols: Vec<&str> = self.columns.iter().map(|c| c.name()).collect();
+        format!("GROUP BY {}", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_groupings_with_paper_anchors() {
+        assert_eq!(GROUPINGS.len(), 13);
+        assert_eq!(GROUPINGS[0].columns, &[C::ReturnFlag, C::LineStatus]);
+        assert_eq!(GROUPINGS[3].columns, &[C::OrderKey]);
+        assert_eq!(
+            GROUPINGS[12].columns,
+            &[C::SuppKey, C::PartKey, C::OrderKey]
+        );
+        for (i, g) in GROUPINGS.iter().enumerate() {
+            assert_eq!(g.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn by_id_bounds() {
+        assert_eq!(Grouping::by_id(1).unwrap().id, 1);
+        assert_eq!(Grouping::by_id(13).unwrap().id, 13);
+        assert!(Grouping::by_id(0).is_none());
+        assert!(Grouping::by_id(14).is_none());
+    }
+
+    #[test]
+    fn thin_and_wide_cover_all_columns() {
+        for g in &GROUPINGS {
+            let groups = g.group_col_indices();
+            let others = g.other_col_indices();
+            assert_eq!(groups.len() + others.len(), 16, "{}", g.describe());
+            let mut all: Vec<usize> = groups.iter().chain(&others).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(
+            Grouping::by_id(1).unwrap().describe(),
+            "GROUP BY l_returnflag, l_linestatus"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! `rexa-tpch`: deterministic TPC-H-style data generation and the paper's
+//! grouping benchmark (Section VI).
+//!
+//! * [`lineitem`] — a dbgen-like generator for the 16-column `lineitem`
+//!   table at arbitrary (fractional) scale factors, as in-memory chunks or
+//!   bulk-loaded into a persistent paged table;
+//! * [`groupings`] — the thirteen grouping combinations of (reconstructed)
+//!   Table I, with thin/wide variants.
+
+pub mod csv;
+pub mod groupings;
+pub mod lineitem;
+pub mod skew;
+
+pub use csv::write_csv;
+pub use groupings::{Grouping, GROUPINGS};
+pub use skew::{clustered_table, zipf_table, Zipf};
+pub use lineitem::{
+    generate_lineitem, lineitem_schema, load_lineitem_table, LineitemColumn, LineitemGenerator,
+};

@@ -1,0 +1,486 @@
+//! A deterministic TPC-H-style `lineitem` generator.
+//!
+//! Follows dbgen's structure: ~1.5M orders per scale factor, each with 1–7
+//! lineitems (≈ 6M rows/SF), dates derived from a random order date, prices
+//! from quantity and part key, flags from the dates. Decimal columns
+//! (`l_quantity`, `l_extendedprice`, `l_discount`, `l_tax`) are represented
+//! as scaled 64-bit integers, the physical representation analytical engines
+//! use for low-precision decimals. Fully deterministic for a given
+//! `(scale factor, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rexa_buffer::{BufferManager, Table};
+use rexa_buffer::table::TableBuilder;
+use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Result, Vector, VECTOR_SIZE};
+use rexa_storage::DatabaseFile;
+use std::sync::Arc;
+
+/// Orders per unit scale factor (TPC-H).
+pub const ORDERS_PER_SF: f64 = 1_500_000.0;
+
+/// Day offset of 1992-01-01 (earliest order date in TPC-H).
+const START_DATE: i32 = 8035;
+/// Order dates span [START_DATE, START_DATE + 2405 - 151].
+const ORDER_DATE_SPAN: i32 = 2405 - 151;
+
+/// The columns of `lineitem`, in schema order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum LineitemColumn {
+    /// Order key (shared by the order's 1–7 lineitems).
+    OrderKey = 0,
+    /// Part key, uniform in `[1, 200000·SF]`.
+    PartKey = 1,
+    /// Supplier key, uniform in `[1, 10000·SF]`.
+    SuppKey = 2,
+    /// Line number within the order, 1–7.
+    LineNumber = 3,
+    /// Quantity, 1–50.
+    Quantity = 4,
+    /// Extended price in cents.
+    ExtendedPrice = 5,
+    /// Discount in hundredths (0–10).
+    Discount = 6,
+    /// Tax in hundredths (0–8).
+    Tax = 7,
+    /// 'R', 'A', or 'N'.
+    ReturnFlag = 8,
+    /// 'O' or 'F'.
+    LineStatus = 9,
+    /// Ship date (order date + 1..121 days). ~2,400 distinct values.
+    ShipDate = 10,
+    /// Commit date (order date + 30..90 days).
+    CommitDate = 11,
+    /// Receipt date (ship date + 1..30 days).
+    ReceiptDate = 12,
+    /// One of 4 instructions.
+    ShipInstruct = 13,
+    /// One of 7 modes.
+    ShipMode = 14,
+    /// Pseudo-text comment, 2–6 words.
+    Comment = 15,
+}
+
+impl LineitemColumn {
+    /// The column's index in the schema.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All 16 columns in schema order.
+    pub const ALL: [LineitemColumn; 16] = [
+        LineitemColumn::OrderKey,
+        LineitemColumn::PartKey,
+        LineitemColumn::SuppKey,
+        LineitemColumn::LineNumber,
+        LineitemColumn::Quantity,
+        LineitemColumn::ExtendedPrice,
+        LineitemColumn::Discount,
+        LineitemColumn::Tax,
+        LineitemColumn::ReturnFlag,
+        LineitemColumn::LineStatus,
+        LineitemColumn::ShipDate,
+        LineitemColumn::CommitDate,
+        LineitemColumn::ReceiptDate,
+        LineitemColumn::ShipInstruct,
+        LineitemColumn::ShipMode,
+        LineitemColumn::Comment,
+    ];
+
+    /// The TPC-H column name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LineitemColumn::OrderKey => "l_orderkey",
+            LineitemColumn::PartKey => "l_partkey",
+            LineitemColumn::SuppKey => "l_suppkey",
+            LineitemColumn::LineNumber => "l_linenumber",
+            LineitemColumn::Quantity => "l_quantity",
+            LineitemColumn::ExtendedPrice => "l_extendedprice",
+            LineitemColumn::Discount => "l_discount",
+            LineitemColumn::Tax => "l_tax",
+            LineitemColumn::ReturnFlag => "l_returnflag",
+            LineitemColumn::LineStatus => "l_linestatus",
+            LineitemColumn::ShipDate => "l_shipdate",
+            LineitemColumn::CommitDate => "l_commitdate",
+            LineitemColumn::ReceiptDate => "l_receiptdate",
+            LineitemColumn::ShipInstruct => "l_shipinstruct",
+            LineitemColumn::ShipMode => "l_shipmode",
+            LineitemColumn::Comment => "l_comment",
+        }
+    }
+
+    /// The column's logical type.
+    pub const fn logical_type(self) -> LogicalType {
+        match self {
+            LineitemColumn::OrderKey
+            | LineitemColumn::PartKey
+            | LineitemColumn::SuppKey
+            | LineitemColumn::Quantity
+            | LineitemColumn::ExtendedPrice
+            | LineitemColumn::Discount
+            | LineitemColumn::Tax => LogicalType::Int64,
+            LineitemColumn::LineNumber => LogicalType::Int32,
+            LineitemColumn::ShipDate | LineitemColumn::CommitDate | LineitemColumn::ReceiptDate => {
+                LogicalType::Date
+            }
+            LineitemColumn::ReturnFlag
+            | LineitemColumn::LineStatus
+            | LineitemColumn::ShipInstruct
+            | LineitemColumn::ShipMode
+            | LineitemColumn::Comment => LogicalType::Varchar,
+        }
+    }
+}
+
+/// The 16-column lineitem schema.
+pub fn lineitem_schema() -> Vec<LogicalType> {
+    LineitemColumn::ALL.iter().map(|c| c.logical_type()).collect()
+}
+
+const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const COMMENT_WORDS: [&str; 16] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages", "requests",
+    "accounts", "instructions", "foxes", "pinto", "beans", "ironic", "express", "regular",
+];
+
+struct RowBatch {
+    orderkey: Vec<i64>,
+    partkey: Vec<i64>,
+    suppkey: Vec<i64>,
+    linenumber: Vec<i32>,
+    quantity: Vec<i64>,
+    extendedprice: Vec<i64>,
+    discount: Vec<i64>,
+    tax: Vec<i64>,
+    returnflag: Vec<&'static str>,
+    linestatus: Vec<&'static str>,
+    shipdate: Vec<i32>,
+    commitdate: Vec<i32>,
+    receiptdate: Vec<i32>,
+    shipinstruct: Vec<&'static str>,
+    shipmode: Vec<&'static str>,
+    comment: Vec<String>,
+}
+
+impl RowBatch {
+    fn with_capacity(n: usize) -> Self {
+        RowBatch {
+            orderkey: Vec::with_capacity(n),
+            partkey: Vec::with_capacity(n),
+            suppkey: Vec::with_capacity(n),
+            linenumber: Vec::with_capacity(n),
+            quantity: Vec::with_capacity(n),
+            extendedprice: Vec::with_capacity(n),
+            discount: Vec::with_capacity(n),
+            tax: Vec::with_capacity(n),
+            returnflag: Vec::with_capacity(n),
+            linestatus: Vec::with_capacity(n),
+            shipdate: Vec::with_capacity(n),
+            commitdate: Vec::with_capacity(n),
+            receiptdate: Vec::with_capacity(n),
+            shipinstruct: Vec::with_capacity(n),
+            shipmode: Vec::with_capacity(n),
+            comment: Vec::with_capacity(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.orderkey.len()
+    }
+
+    fn into_chunk(self) -> DataChunk {
+        DataChunk::new(vec![
+            Vector::from_i64(self.orderkey),
+            Vector::from_i64(self.partkey),
+            Vector::from_i64(self.suppkey),
+            Vector::from_i32(self.linenumber),
+            Vector::from_i64(self.quantity),
+            Vector::from_i64(self.extendedprice),
+            Vector::from_i64(self.discount),
+            Vector::from_i64(self.tax),
+            Vector::from_strs(self.returnflag),
+            Vector::from_strs(self.linestatus),
+            Vector::from_dates(self.shipdate),
+            Vector::from_dates(self.commitdate),
+            Vector::from_dates(self.receiptdate),
+            Vector::from_strs(self.shipinstruct),
+            Vector::from_strs(self.shipmode),
+            Vector::from_strs(self.comment),
+        ])
+    }
+}
+
+/// A streaming lineitem generator: an iterator of chunks of at most
+/// [`VECTOR_SIZE`] rows.
+pub struct LineitemGenerator {
+    rng: StdRng,
+    orders_left: u64,
+    next_order: u64,
+    parts: i64,
+    suppliers: i64,
+    batch: RowBatch,
+    /// Lineitems of the current order not yet emitted (when an order spans a
+    /// chunk boundary it continues into the next batch).
+    pending_lines: u32,
+    pending_orderkey: i64,
+    pending_orderdate: i32,
+    pending_linenumber: i32,
+}
+
+impl LineitemGenerator {
+    /// A generator for `sf` (fractional scale factors allowed) and a seed.
+    pub fn new(sf: f64, seed: u64) -> Self {
+        let orders = (ORDERS_PER_SF * sf).round().max(1.0) as u64;
+        LineitemGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x7e3a_11ce),
+            orders_left: orders,
+            next_order: 0,
+            parts: ((200_000.0 * sf).round() as i64).max(1),
+            suppliers: ((10_000.0 * sf).round() as i64).max(1),
+            batch: RowBatch::with_capacity(VECTOR_SIZE),
+            pending_lines: 0,
+            pending_orderkey: 0,
+            pending_orderdate: 0,
+            pending_linenumber: 0,
+        }
+    }
+
+    /// TPC-H's sparse order keys: 8 consecutive keys per 32-key block.
+    fn order_key(index: u64) -> i64 {
+        ((index / 8) * 32 + index % 8 + 1) as i64
+    }
+
+    fn comment(rng: &mut StdRng) -> String {
+        let words = rng.gen_range(2..=6);
+        let mut s = String::new();
+        for w in 0..words {
+            if w > 0 {
+                s.push(' ');
+            }
+            s.push_str(COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())]);
+        }
+        s
+    }
+
+    fn push_line(&mut self, orderkey: i64, orderdate: i32, linenumber: i32) {
+        let rng = &mut self.rng;
+        let partkey = rng.gen_range(1..=self.parts);
+        let suppkey = rng.gen_range(1..=self.suppliers);
+        let quantity = rng.gen_range(1..=50i64);
+        // dbgen-style retail price derived from the part key.
+        let retail = 90_000 + (partkey % 20_000) * 10 + partkey % 1_000;
+        let extendedprice = quantity * retail;
+        let discount = rng.gen_range(0..=10i64);
+        let tax = rng.gen_range(0..=8i64);
+        let shipdate = orderdate + rng.gen_range(1..=121);
+        let commitdate = orderdate + rng.gen_range(30..=90);
+        let receiptdate = shipdate + rng.gen_range(1..=30);
+        // 1995-06-17 = day 9298 (dbgen's CURRENTDATE).
+        let current = 9298;
+        let linestatus = if shipdate > current { "O" } else { "F" };
+        let returnflag = if receiptdate <= current {
+            if rng.gen_bool(0.5) {
+                "R"
+            } else {
+                "A"
+            }
+        } else {
+            "N"
+        };
+        let shipinstruct = SHIP_INSTRUCT[rng.gen_range(0..SHIP_INSTRUCT.len())];
+        let shipmode = SHIP_MODE[rng.gen_range(0..SHIP_MODE.len())];
+        let comment = Self::comment(rng);
+
+        let b = &mut self.batch;
+        b.orderkey.push(orderkey);
+        b.partkey.push(partkey);
+        b.suppkey.push(suppkey);
+        b.linenumber.push(linenumber);
+        b.quantity.push(quantity);
+        b.extendedprice.push(extendedprice);
+        b.discount.push(discount);
+        b.tax.push(tax);
+        b.returnflag.push(returnflag);
+        b.linestatus.push(linestatus);
+        b.shipdate.push(shipdate);
+        b.commitdate.push(commitdate);
+        b.receiptdate.push(receiptdate);
+        b.shipinstruct.push(shipinstruct);
+        b.shipmode.push(shipmode);
+        b.comment.push(comment);
+    }
+}
+
+impl Iterator for LineitemGenerator {
+    type Item = DataChunk;
+
+    fn next(&mut self) -> Option<DataChunk> {
+        while self.batch.len() < VECTOR_SIZE {
+            if self.pending_lines > 0 {
+                self.pending_lines -= 1;
+                self.pending_linenumber += 1;
+                let (k, d, l) = (
+                    self.pending_orderkey,
+                    self.pending_orderdate,
+                    self.pending_linenumber,
+                );
+                self.push_line(k, d, l);
+                continue;
+            }
+            if self.orders_left == 0 {
+                break;
+            }
+            self.orders_left -= 1;
+            self.pending_orderkey = Self::order_key(self.next_order);
+            self.next_order += 1;
+            self.pending_orderdate = START_DATE + self.rng.gen_range(0..ORDER_DATE_SPAN);
+            self.pending_lines = self.rng.gen_range(1..=7);
+            self.pending_linenumber = 0;
+        }
+        if self.batch.len() == 0 {
+            return None;
+        }
+        let batch = std::mem::replace(&mut self.batch, RowBatch::with_capacity(VECTOR_SIZE));
+        Some(batch.into_chunk())
+    }
+}
+
+/// Generate the whole table into an in-memory [`ChunkCollection`].
+pub fn generate_lineitem(sf: f64, seed: u64) -> ChunkCollection {
+    let mut coll = ChunkCollection::new(lineitem_schema());
+    for chunk in LineitemGenerator::new(sf, seed) {
+        coll.push(chunk).expect("schema matches");
+    }
+    coll
+}
+
+/// Generate and bulk-load the table into a persistent database file, paged
+/// through the buffer manager (the substrate for the scans whose caching
+/// behaviour Figure 4 visualizes).
+pub fn load_lineitem_table(
+    mgr: &Arc<BufferManager>,
+    db: &Arc<DatabaseFile>,
+    sf: f64,
+    seed: u64,
+) -> Result<Table> {
+    let mut builder = TableBuilder::new(Arc::clone(mgr), Arc::clone(db), lineitem_schema());
+    for chunk in LineitemGenerator::new(sf, seed) {
+        builder.append(&chunk)?;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_lineitem(0.001, 42);
+        let b = generate_lineitem(0.001, 42);
+        assert_eq!(a.rows(), b.rows());
+        for (ca, cb) in a.chunks().iter().zip(b.chunks()) {
+            assert_eq!(ca, cb);
+        }
+        let c = generate_lineitem(0.001, 43);
+        assert_ne!(
+            a.chunks()[0].column(1).i64s(),
+            c.chunks()[0].column(1).i64s(),
+            "different seed, different data"
+        );
+    }
+
+    #[test]
+    fn row_count_scales() {
+        let small = generate_lineitem(0.001, 1);
+        // 1500 orders x 1..7 lines: roughly 6000 rows.
+        assert!((4000..9000).contains(&small.rows()), "{}", small.rows());
+        let tiny = generate_lineitem(0.0001, 1);
+        assert!(tiny.rows() < small.rows() / 5);
+    }
+
+    #[test]
+    fn schema_and_value_domains() {
+        let coll = generate_lineitem(0.001, 7);
+        assert_eq!(coll.types(), lineitem_schema());
+        for chunk in coll.chunks() {
+            let qty = chunk.column(LineitemColumn::Quantity.index()).i64s();
+            assert!(qty.iter().all(|&q| (1..=50).contains(&q)));
+            let disc = chunk.column(LineitemColumn::Discount.index()).i64s();
+            assert!(disc.iter().all(|&d| (0..=10).contains(&d)));
+            let pk = chunk.column(LineitemColumn::PartKey.index()).i64s();
+            assert!(pk.iter().all(|&p| (1..=200).contains(&p))); // 200000 * 0.001
+            for i in 0..chunk.len() {
+                let rf = chunk.column(LineitemColumn::ReturnFlag.index()).str_at(i);
+                assert!(matches!(rf, "R" | "A" | "N"));
+                let ls = chunk.column(LineitemColumn::LineStatus.index()).str_at(i);
+                assert!(matches!(ls, "O" | "F"));
+                let ship = chunk.column(LineitemColumn::ShipDate.index()).i32s()[i];
+                let receipt = chunk.column(LineitemColumn::ReceiptDate.index()).i32s()[i];
+                assert!(receipt > ship, "receipt after ship");
+            }
+        }
+    }
+
+    #[test]
+    fn orders_have_consecutive_linenumbers() {
+        let coll = generate_lineitem(0.0005, 3);
+        let mut last_key = -1i64;
+        let mut expect_line = 1;
+        for chunk in coll.chunks() {
+            let keys = chunk.column(0).i64s();
+            let lines = chunk.column(3).i32s();
+            for i in 0..chunk.len() {
+                if keys[i] != last_key {
+                    last_key = keys[i];
+                    expect_line = 1;
+                }
+                assert_eq!(lines[i], expect_line, "order {last_key}");
+                expect_line += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_order_keys() {
+        assert_eq!(LineitemGenerator::order_key(0), 1);
+        assert_eq!(LineitemGenerator::order_key(7), 8);
+        assert_eq!(LineitemGenerator::order_key(8), 33);
+        assert_eq!(LineitemGenerator::order_key(15), 40);
+        assert_eq!(LineitemGenerator::order_key(16), 65);
+    }
+
+    #[test]
+    fn shipdate_cardinality_is_bounded() {
+        let coll = generate_lineitem(0.002, 9);
+        let mut dates = std::collections::BTreeSet::new();
+        for chunk in coll.chunks() {
+            for &d in chunk.column(LineitemColumn::ShipDate.index()).i32s() {
+                dates.insert(d);
+            }
+        }
+        // At most ORDER_DATE_SPAN + 121 distinct ship dates.
+        assert!(dates.len() <= (ORDER_DATE_SPAN + 121) as usize);
+        assert!(dates.len() > 1000, "should cover most of the range");
+    }
+
+    #[test]
+    fn chunks_are_full_except_last() {
+        let coll = generate_lineitem(0.001, 5);
+        let n = coll.chunk_count();
+        for (i, c) in coll.chunks().iter().enumerate() {
+            if i + 1 < n {
+                assert_eq!(c.len(), VECTOR_SIZE);
+            } else {
+                assert!(!c.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: aggregate a small table with the robust external hash
+//! aggregation.
+//!
+//! ```sh
+//! cargo run --release -p rexa-core --example quickstart
+//! ```
+
+use rexa_buffer::{BufferManager, BufferManagerConfig};
+use rexa_core::{hash_aggregate_collect, AggregateConfig, AggregateSpec, HashAggregatePlan};
+use rexa_exec::pipeline::CollectionSource;
+use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Vector};
+
+fn main() -> rexa_exec::Result<()> {
+    // 1. A buffer manager: one memory pool for everything. 64 MiB is plenty
+    //    here; when it is not, intermediates spill — transparently.
+    let mgr = BufferManager::new(BufferManagerConfig::with_limit(64 << 20))?;
+
+    // 2. Some input: (city, amount) sales rows.
+    let mut sales = ChunkCollection::new(vec![LogicalType::Varchar, LogicalType::Int64]);
+    sales.push(DataChunk::new(vec![
+        Vector::from_strs(["Amsterdam", "Utrecht", "Amsterdam", "Rotterdam", "Utrecht"]),
+        Vector::from_i64(vec![120, 45, 80, 200, 5]),
+    ]))?;
+
+    // 3. The query: SELECT city, COUNT(*), SUM(amount), MAX(amount)
+    //    FROM sales GROUP BY city.
+    let plan = HashAggregatePlan {
+        group_cols: vec![0],
+        aggregates: vec![
+            AggregateSpec::count_star(),
+            AggregateSpec::sum(1),
+            AggregateSpec::max(1),
+        ],
+    };
+
+    // 4. Run it.
+    let source = CollectionSource::new(&sales);
+    let (result, stats) = hash_aggregate_collect(
+        &mgr,
+        &source,
+        sales.types(),
+        &plan,
+        &AggregateConfig::with_threads(2),
+    )?;
+
+    println!("{:<12}{:>6}{:>6}{:>6}", "city", "count", "sum", "max");
+    for chunk in result.chunks() {
+        for i in 0..chunk.len() {
+            let row = chunk.row(i);
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("{:<12}{:>6}{:>6}{:>6}", cells[0], cells[1], cells[2], cells[3]);
+        }
+    }
+    println!(
+        "\n{} rows in, {} groups out, {} partitions, phase1 {:?}, phase2 {:?}",
+        stats.rows_in, stats.groups, stats.partitions, stats.phase1, stats.phase2
+    );
+    Ok(())
+}

@@ -1,0 +1,289 @@
+//! Property-based differential testing: for arbitrary schemas, data
+//! distributions, memory limits, thread counts, and aggregate mixes, the
+//! robust operator, the in-memory baseline, and the external sort baseline
+//! must all produce exactly the multiset of groups and aggregate values the
+//! naive reference model produces.
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rexa_buffer::{BufferManager, BufferManagerConfig};
+use rexa_core::baselines::sort_aggregate;
+use rexa_core::simple::{reference_aggregate, sorted_rows};
+use rexa_core::{hash_aggregate_collect, AggregateConfig, AggregateSpec, HashAggregatePlan};
+use rexa_exec::pipeline::{CancelToken, CollectionSource};
+use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Value, VECTOR_SIZE};
+use rexa_storage::scratch_dir;
+use std::sync::Arc;
+
+/// A value generator for one column type with a bounded key domain (small
+/// domains create heavy duplication; large ones all-unique groups).
+fn value_strategy(ty: LogicalType, domain: i64) -> BoxedStrategy<Value> {
+    let null = Just(Value::Null).boxed();
+    let non_null = match ty {
+        LogicalType::Int32 => (0..domain).prop_map(|v| Value::Int32(v as i32)).boxed(),
+        LogicalType::Int64 => (-domain..domain).prop_map(Value::Int64).boxed(),
+        LogicalType::Float64 => (0..domain)
+            .prop_map(|v| Value::Float64(v as f64 * 0.5))
+            .boxed(),
+        LogicalType::Date => (0..domain).prop_map(|v| Value::Date(v as i32)).boxed(),
+        LogicalType::Varchar => (0..domain)
+            .prop_map(|v| {
+                if v % 3 == 0 {
+                    Value::Varchar(format!("k{v}"))
+                } else {
+                    Value::Varchar(format!("a much longer group key string number {v:010}"))
+                }
+            })
+            .boxed(),
+    };
+    prop_oneof![9 => non_null, 1 => null].boxed()
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    types: Vec<LogicalType>,
+    rows: Vec<Vec<Value>>,
+    group_cols: Vec<usize>,
+    threads: usize,
+    radix_bits: u32,
+    limit_kib: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    let type_pool = prop::sample::select(vec![
+        LogicalType::Int32,
+        LogicalType::Int64,
+        LogicalType::Float64,
+        LogicalType::Date,
+        LogicalType::Varchar,
+    ]);
+    (
+        prop::collection::vec(type_pool, 1..4),
+        1usize..3,          // number of group columns
+        1i64..200,          // key domain size
+        0usize..3000,       // row count
+        1usize..5,          // threads
+        0u32..5,            // radix bits
+        64usize..4096,      // memory limit KiB
+    )
+        .prop_flat_map(
+            |(types, n_group, domain, n_rows, threads, radix_bits, limit_kib)| {
+                let group_cols: Vec<usize> = (0..n_group.min(types.len())).collect();
+                let row_strategy: Vec<BoxedStrategy<Value>> = types
+                    .iter()
+                    .map(|&t| value_strategy(t, domain))
+                    .collect();
+                (
+                    prop::collection::vec(row_strategy, n_rows),
+                    Just(types),
+                    Just(group_cols),
+                    Just(threads),
+                    Just(radix_bits),
+                    Just(limit_kib),
+                )
+                    .prop_map(
+                        |(rows, types, group_cols, threads, radix_bits, limit_kib)| Case {
+                            types,
+                            rows,
+                            group_cols,
+                            threads,
+                            radix_bits,
+                            limit_kib,
+                        },
+                    )
+            },
+        )
+}
+
+fn build_collection(case: &Case) -> ChunkCollection {
+    let mut coll = ChunkCollection::new(case.types.clone());
+    for rows in case.rows.chunks(VECTOR_SIZE) {
+        let mut chunk = DataChunk::empty(&case.types);
+        for row in rows {
+            chunk.push_row(row).unwrap();
+        }
+        coll.push(chunk).unwrap();
+    }
+    coll
+}
+
+/// Aggregates applicable to the first non-group column (or COUNT(*) only).
+///
+/// `ANY_VALUE` is only taken over a *group* column: over arbitrary payload
+/// columns its result is legitimately nondeterministic (any value of the
+/// group is correct), so differential comparison would be invalid.
+fn aggregates_for(case: &Case) -> Vec<AggregateSpec> {
+    let mut aggs = vec![
+        AggregateSpec::count_star(),
+        AggregateSpec::any_value(case.group_cols[0]),
+    ];
+    if let Some(&arg) = (0..case.types.len())
+        .filter(|c| !case.group_cols.contains(c))
+        .collect::<Vec<_>>()
+        .first()
+    {
+        aggs.push(AggregateSpec::count(arg));
+        match case.types[arg] {
+            LogicalType::Int32 | LogicalType::Int64 | LogicalType::Float64 => {
+                aggs.push(AggregateSpec::sum(arg));
+                aggs.push(AggregateSpec::min(arg));
+                aggs.push(AggregateSpec::max(arg));
+                aggs.push(AggregateSpec::avg(arg));
+            }
+            LogicalType::Date => {
+                aggs.push(AggregateSpec::min(arg));
+                aggs.push(AggregateSpec::max(arg));
+            }
+            LogicalType::Varchar => {}
+        }
+    }
+    aggs
+}
+
+/// Floats make exact comparison across summation orders impossible; compare
+/// with tolerance.
+fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(ra, rb)| {
+        ra.len() == rb.len()
+            && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                (Value::Float64(x), Value::Float64(y)) => {
+                    (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+                }
+                _ => va == vb,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn robust_operator_matches_reference_model(case in case_strategy()) {
+        let coll = build_collection(&case);
+        let aggregates = aggregates_for(&case);
+        let plan = HashAggregatePlan {
+            group_cols: case.group_cols.clone(),
+            aggregates: aggregates.clone(),
+        };
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(case.limit_kib << 10)
+                .page_size(4 << 10)
+                .temp_dir(scratch_dir("prop").unwrap()),
+        )
+        .unwrap();
+        let config = AggregateConfig {
+            threads: case.threads,
+            radix_bits: Some(case.radix_bits),
+            ht_capacity: 4 * VECTOR_SIZE,
+            output_chunk_size: 777, // deliberately odd
+            reset_fill_percent: 66,
+        };
+        let source = CollectionSource::new(&coll);
+        let result = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config);
+        let source = CollectionSource::new(&coll);
+        let want = reference_aggregate(&source, coll.types(), &plan.group_cols, &aggregates).unwrap();
+        match result {
+            Ok((out, stats)) => {
+                let got = sorted_rows(out.chunks());
+                prop_assert!(rows_approx_eq(&got, &want), "groups differ: got {} want {}", got.len(), want.len());
+                prop_assert_eq!(stats.groups, want.len());
+                // No residue.
+                prop_assert_eq!(mgr.stats().temporary_resident, 0);
+                prop_assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
+            }
+            Err(e) if e.is_oom() => {
+                // Legal when the limit is below the operator's pinned
+                // working set (threads x partitions x 2 pages). Nothing must
+                // leak even on failure.
+                prop_assert_eq!(mgr.stats().temporary_resident, 0);
+                prop_assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn sort_baseline_matches_reference_model(case in case_strategy()) {
+        let coll = build_collection(&case);
+        let aggregates = aggregates_for(&case);
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(usize::MAX)
+                .page_size(4 << 10)
+                .temp_dir(scratch_dir("prop2").unwrap()),
+        )
+        .unwrap();
+        // Force external runs for larger inputs by lowering the limit after
+        // construction (sortagg snapshots the limit for its run budget).
+        mgr.set_memory_limit((case.limit_kib << 10).max(1 << 20) * 4);
+        let out = Mutex::new(Vec::<DataChunk>::new());
+        let source = CollectionSource::new(&coll);
+        let stats = sort_aggregate(
+            &mgr,
+            &source,
+            coll.types(),
+            &case.group_cols,
+            &aggregates,
+            &CancelToken::new(),
+            &|c| { out.lock().push(c); Ok(()) },
+        ).unwrap();
+        let source = CollectionSource::new(&coll);
+        let want = reference_aggregate(&source, coll.types(), &case.group_cols, &aggregates).unwrap();
+        let got = sorted_rows(&out.lock());
+        prop_assert!(rows_approx_eq(&got, &want), "groups differ: got {} want {}", got.len(), want.len());
+        prop_assert_eq!(stats.groups, want.len());
+    }
+}
+
+/// Non-proptest determinism check kept here because it shares the helpers.
+#[test]
+fn operator_is_deterministic_under_odd_geometry() {
+    let case = Case {
+        types: vec![LogicalType::Varchar, LogicalType::Int64],
+        rows: (0..5000)
+            .map(|i| {
+                vec![
+                    Value::Varchar(format!("group key with some length {:03}", i % 321)),
+                    Value::Int64(i),
+                ]
+            })
+            .collect(),
+        group_cols: vec![0],
+        threads: 3,
+        radix_bits: 3,
+        limit_kib: 512,
+    };
+    let coll = build_collection(&case);
+    let plan = HashAggregatePlan {
+        group_cols: vec![0],
+        aggregates: vec![AggregateSpec::sum(1), AggregateSpec::count_star()],
+    };
+    let run = || {
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(case.limit_kib << 10)
+                .page_size(4 << 10)
+                .temp_dir(scratch_dir("det").unwrap()),
+        )
+        .unwrap();
+        let config = AggregateConfig {
+            threads: case.threads,
+            radix_bits: Some(case.radix_bits),
+            ht_capacity: 4 * VECTOR_SIZE,
+            output_chunk_size: 1000,
+            reset_fill_percent: 66,
+        };
+        let source = CollectionSource::new(&coll);
+        let (out, _) = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+        sorted_rows(out.chunks())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 321);
+    let _ = Arc::new(()); // silence unused-import lints in some cfgs
+}

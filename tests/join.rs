@@ -1,0 +1,329 @@
+//! External hash join (future-work extension): differential tests against a
+//! naive nested-loop reference, including duplicates on both sides, string
+//! keys, NULL keys, spilling under tight memory, and empty inputs.
+
+use rexa_buffer::{BufferManager, BufferManagerConfig};
+use rexa_core::{hash_join_collect, HashJoinPlan, JoinConfig};
+use rexa_exec::pipeline::CollectionSource;
+use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Value, Vector, VECTOR_SIZE};
+use rexa_storage::scratch_dir;
+use std::sync::Arc;
+
+fn mgr(limit: usize, page: usize) -> Arc<BufferManager> {
+    BufferManager::new(
+        BufferManagerConfig::with_limit(limit)
+            .page_size(page)
+            .temp_dir(scratch_dir("join").unwrap()),
+    )
+    .unwrap()
+}
+
+fn config(threads: usize, bits: u32) -> JoinConfig {
+    JoinConfig {
+        threads,
+        radix_bits: Some(bits),
+        output_chunk_size: 777, // deliberately odd
+        release_every: 4,
+    }
+}
+
+/// Naive nested-loop inner join; NULL keys never match. Output: probe row
+/// then build row, sorted for comparison.
+fn reference_join(
+    build: &ChunkCollection,
+    probe: &ChunkCollection,
+    build_keys: &[usize],
+    probe_keys: &[usize],
+) -> Vec<Vec<Value>> {
+    let build_rows: Vec<Vec<Value>> = build
+        .chunks()
+        .iter()
+        .flat_map(|c| (0..c.len()).map(move |i| c.row(i)))
+        .collect();
+    let probe_rows: Vec<Vec<Value>> = probe
+        .chunks()
+        .iter()
+        .flat_map(|c| (0..c.len()).map(move |i| c.row(i)))
+        .collect();
+    let mut out = Vec::new();
+    for p in &probe_rows {
+        for b in &build_rows {
+            let matches = build_keys.iter().zip(probe_keys).all(|(&bk, &pk)| {
+                let (bv, pv) = (&b[bk], &p[pk]);
+                !bv.is_null() && !pv.is_null() && bv.total_cmp(pv).is_eq()
+            });
+            if matches {
+                let mut row = p.clone();
+                row.extend(b.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        rexa_core::simple::KeyRow(a.clone()).cmp(&rexa_core::simple::KeyRow(b.clone()))
+    });
+    out
+}
+
+fn sorted_output(coll: &ChunkCollection) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = coll
+        .chunks()
+        .iter()
+        .flat_map(|c| (0..c.len()).map(move |i| c.row(i)))
+        .collect();
+    rows.sort_by(|a, b| {
+        rexa_core::simple::KeyRow(a.clone()).cmp(&rexa_core::simple::KeyRow(b.clone()))
+    });
+    rows
+}
+
+fn i64_table(rows: &[(i64, i64)]) -> ChunkCollection {
+    let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+    for chunk_rows in rows.chunks(VECTOR_SIZE) {
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(chunk_rows.iter().map(|r| r.0).collect()),
+            Vector::from_i64(chunk_rows.iter().map(|r| r.1).collect()),
+        ]))
+        .unwrap();
+    }
+    coll
+}
+
+#[test]
+fn basic_join_with_duplicates_both_sides() {
+    let build = i64_table(&[(1, 10), (2, 20), (2, 21), (3, 30)]);
+    let probe = i64_table(&[(2, 200), (2, 201), (4, 400), (1, 100)]);
+    let m = mgr(64 << 20, 8 << 10);
+    let plan = HashJoinPlan {
+        build_keys: vec![0],
+        probe_keys: vec![0],
+    };
+    let (out, stats) = hash_join_collect(
+        &m,
+        &CollectionSource::new(&build),
+        build.types(),
+        &CollectionSource::new(&probe),
+        probe.types(),
+        &plan,
+        &config(2, 2),
+    )
+    .unwrap();
+    // probe key 2 matches two build rows, twice => 4; key 1 matches once.
+    assert_eq!(stats.output_rows, 5);
+    assert_eq!(sorted_output(&out), reference_join(&build, &probe, &[0], &[0]));
+}
+
+#[test]
+fn large_random_join_matches_reference() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    let build: Vec<(i64, i64)> = (0..800).map(|i| (rng.gen_range(0..300), i)).collect();
+    let probe: Vec<(i64, i64)> = (0..1200).map(|i| (rng.gen_range(0..300), i + 10_000)).collect();
+    let build = i64_table(&build);
+    let probe = i64_table(&probe);
+    let m = mgr(64 << 20, 8 << 10);
+    let plan = HashJoinPlan {
+        build_keys: vec![0],
+        probe_keys: vec![0],
+    };
+    for threads in [1, 4] {
+        let (out, _) = hash_join_collect(
+            &m,
+            &CollectionSource::new(&build),
+            build.types(),
+            &CollectionSource::new(&probe),
+            probe.types(),
+            &plan,
+            &config(threads, 3),
+        )
+        .unwrap();
+        assert_eq!(
+            sorted_output(&out),
+            reference_join(&build, &probe, &[0], &[0]),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn string_keys_and_multi_key() {
+    let mut build = ChunkCollection::new(vec![LogicalType::Varchar, LogicalType::Int64]);
+    let mut probe = ChunkCollection::new(vec![
+        LogicalType::Int64,
+        LogicalType::Varchar,
+        LogicalType::Int64,
+    ]);
+    let mut bchunk = DataChunk::empty(build.types());
+    let mut pchunk = DataChunk::empty(probe.types());
+    for i in 0..200i64 {
+        let key = if i % 3 == 0 {
+            format!("k{}", i % 17)
+        } else {
+            format!("a very long string key number {:06}", i % 17)
+        };
+        bchunk
+            .push_row(&[Value::Varchar(key.clone()), Value::Int64(i % 5)])
+            .unwrap();
+        pchunk
+            .push_row(&[Value::Int64(i % 5), Value::Varchar(key), Value::Int64(i)])
+            .unwrap();
+    }
+    build.push(bchunk).unwrap();
+    probe.push(pchunk).unwrap();
+
+    let m = mgr(64 << 20, 8 << 10);
+    // Join on (string key, small int), in different column positions.
+    let plan = HashJoinPlan {
+        build_keys: vec![0, 1],
+        probe_keys: vec![1, 0],
+    };
+    let (out, _) = hash_join_collect(
+        &m,
+        &CollectionSource::new(&build),
+        build.types(),
+        &CollectionSource::new(&probe),
+        probe.types(),
+        &plan,
+        &config(4, 3),
+    )
+    .unwrap();
+    assert_eq!(
+        sorted_output(&out),
+        reference_join(&build, &probe, &[0, 1], &[1, 0])
+    );
+}
+
+#[test]
+fn null_keys_never_match() {
+    let mut build = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+    let mut probe = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+    let mut bc = DataChunk::empty(build.types());
+    let mut pc = DataChunk::empty(probe.types());
+    bc.push_row(&[Value::Null, Value::Int64(1)]).unwrap();
+    bc.push_row(&[Value::Int64(5), Value::Int64(2)]).unwrap();
+    pc.push_row(&[Value::Null, Value::Int64(3)]).unwrap();
+    pc.push_row(&[Value::Int64(5), Value::Int64(4)]).unwrap();
+    build.push(bc).unwrap();
+    probe.push(pc).unwrap();
+
+    let m = mgr(64 << 20, 8 << 10);
+    let plan = HashJoinPlan {
+        build_keys: vec![0],
+        probe_keys: vec![0],
+    };
+    let (out, stats) = hash_join_collect(
+        &m,
+        &CollectionSource::new(&build),
+        build.types(),
+        &CollectionSource::new(&probe),
+        probe.types(),
+        &plan,
+        &config(2, 2),
+    )
+    .unwrap();
+    assert_eq!(stats.output_rows, 1, "only 5=5 matches; NULLs never join");
+    assert_eq!(out.rows(), 1);
+    assert_eq!(
+        out.chunks()[0].row(0),
+        vec![
+            Value::Int64(5),
+            Value::Int64(4),
+            Value::Int64(5),
+            Value::Int64(2)
+        ]
+    );
+}
+
+#[test]
+fn empty_sides_produce_empty_output() {
+    let empty = i64_table(&[]);
+    let some = i64_table(&[(1, 1)]);
+    let m = mgr(64 << 20, 8 << 10);
+    let plan = HashJoinPlan {
+        build_keys: vec![0],
+        probe_keys: vec![0],
+    };
+    for (b, p) in [(&empty, &some), (&some, &empty), (&empty, &empty)] {
+        let (out, stats) = hash_join_collect(
+            &m,
+            &CollectionSource::new(b),
+            b.types(),
+            &CollectionSource::new(p),
+            p.types(),
+            &plan,
+            &config(2, 2),
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 0);
+        assert_eq!(stats.output_rows, 0);
+    }
+}
+
+#[test]
+fn join_spills_under_tight_memory_and_stays_exact() {
+    // Both sides larger than the limit together: materialization must spill
+    // and the per-partition probe must still produce the exact result.
+    let build: Vec<(i64, i64)> = (0..40_000).map(|i| (i % 10_000, i)).collect();
+    let probe: Vec<(i64, i64)> = (0..60_000).map(|i| (i % 10_000, i + 1_000_000)).collect();
+    let build = i64_table(&build);
+    let probe = i64_table(&probe);
+    let m = mgr(3 << 20, 4 << 10);
+    let plan = HashJoinPlan {
+        build_keys: vec![0],
+        probe_keys: vec![0],
+    };
+    let cfg = JoinConfig {
+        threads: 4,
+        radix_bits: Some(5),
+        output_chunk_size: VECTOR_SIZE,
+        release_every: 4,
+    };
+    let (out, stats) = hash_join_collect(
+        &m,
+        &CollectionSource::new(&build),
+        build.types(),
+        &CollectionSource::new(&probe),
+        probe.types(),
+        &plan,
+        &cfg,
+    )
+    .unwrap();
+    assert!(
+        stats.buffer.temp_bytes_written > 0,
+        "expected spilling: {:?}",
+        stats.buffer
+    );
+    // Each probe key k in [0, 10k) matches exactly 4 build rows; 6 probe
+    // occurrences x 4 = 24 outputs per key value... verify by count:
+    // 60000 probe rows x 4 matches each = 240000.
+    assert_eq!(stats.output_rows, 240_000);
+    assert_eq!(out.rows(), 240_000);
+    // Everything cleaned up.
+    assert_eq!(m.stats().temp_bytes_on_disk, 0);
+    assert_eq!(m.stats().temporary_resident, 0);
+}
+
+#[test]
+fn key_type_mismatch_is_rejected() {
+    let build = i64_table(&[(1, 1)]);
+    let mut probe = ChunkCollection::new(vec![LogicalType::Varchar]);
+    probe
+        .push(DataChunk::new(vec![Vector::from_strs(["x"])]))
+        .unwrap();
+    let m = mgr(64 << 20, 8 << 10);
+    let plan = HashJoinPlan {
+        build_keys: vec![0],
+        probe_keys: vec![0],
+    };
+    assert!(hash_join_collect(
+        &m,
+        &CollectionSource::new(&build),
+        build.types(),
+        &CollectionSource::new(&probe),
+        probe.types(),
+        &plan,
+        &config(1, 2),
+    )
+    .is_err());
+}
