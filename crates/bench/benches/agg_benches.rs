@@ -49,7 +49,11 @@ fn bench_groupings(c: &mut Criterion) {
 
     for wide in [false, true] {
         let plan = grouping_plan(grouping, wide);
-        let label = if wide { "groupings_wide" } else { "groupings_thin" };
+        let label = if wide {
+            "groupings_wide"
+        } else {
+            "groupings_thin"
+        };
         let mut g = c.benchmark_group(label);
         g.sample_size(10);
         g.throughput(criterion::Throughput::Elements(ds.coll.rows() as u64));

@@ -48,7 +48,9 @@ fn build(fill: f64) -> Fixture {
         entries[slot] = (h & !((1u64 << POINTER_BITS) - 1)) | row as u64;
     }
     // Probe a mix of hits (odd keys) and misses (even keys).
-    let probe_keys: Vec<u64> = (0..PROBES as u64).map(|i| i * 37 % (2 * n as u64)).collect();
+    let probe_keys: Vec<u64> = (0..PROBES as u64)
+        .map(|i| i * 37 % (2 * n as u64))
+        .collect();
     let probe_hashes: Vec<u64> = probe_keys.iter().map(|&k| mix64(k)).collect();
     Fixture {
         entries,

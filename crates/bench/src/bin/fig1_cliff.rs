@@ -36,7 +36,12 @@ fn main() {
         for kind in SystemKind::ALL {
             let env = build_env(&ds, &args, EvictionPolicy::Mixed);
             let out = run_grouping(kind, &env, grouping, false, &args);
-            println!("csv:{sf},{},{},{}", ds.coll.rows(), kind.label(), out.cell());
+            println!(
+                "csv:{sf},{},{},{}",
+                ds.coll.rows(),
+                kind.label(),
+                out.cell()
+            );
             if let Outcome::Done { stats: Some(s), .. } = &out {
                 spilled = s.buffer.temp_bytes_written as f64 / (1 << 20) as f64;
             }

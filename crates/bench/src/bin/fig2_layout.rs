@@ -127,16 +127,39 @@ fn main() {
     let header: Vec<String> = ["step", "seconds", "throughput"].map(String::from).to_vec();
     let tp = |s: f64| format!("{:.1} M rows/s", rows as f64 / s / 1e6);
     let rows_out = vec![
-        vec!["scatter (column→row, partition append)".into(), format!("{scatter_s:.3}"), tp(scatter_s)],
-        vec!["gather (row→column)".into(), format!("{gather_s:.3}"), tp(gather_s)],
         vec![
-            format!("spill→reload→recompute ({:.1} MiB spilled)", spilled as f64 / 1048576.0),
+            "scatter (column→row, partition append)".into(),
+            format!("{scatter_s:.3}"),
+            tp(scatter_s),
+        ],
+        vec![
+            "gather (row→column)".into(),
+            format!("{gather_s:.3}"),
+            tp(gather_s),
+        ],
+        vec![
+            format!(
+                "spill→reload→recompute ({:.1} MiB spilled)",
+                spilled as f64 / 1048576.0
+            ),
             format!("{reload_s:.3}"),
             format!("{:.0} MiB/s", data_mib / reload_s),
         ],
-        vec!["re-pin, nothing moved (recompute skipped)".into(), format!("{repin_s:.4}"), "-".into()],
-        vec!["serialize + write (baseline)".into(), format!("{ser_s:.3}"), tp(ser_s)],
-        vec!["read + deserialize (baseline)".into(), format!("{deser_s:.3}"), tp(deser_s)],
+        vec![
+            "re-pin, nothing moved (recompute skipped)".into(),
+            format!("{repin_s:.4}"),
+            "-".into(),
+        ],
+        vec![
+            "serialize + write (baseline)".into(),
+            format!("{ser_s:.3}"),
+            tp(ser_s),
+        ],
+        vec![
+            "read + deserialize (baseline)".into(),
+            format!("{deser_s:.3}"),
+            tp(deser_s),
+        ],
     ];
     rexa_bench::print_table(&header, &rows_out);
     println!(

@@ -4,16 +4,27 @@
 //!
 //! The paper's setup: memory limit ≈ the grouping's intermediate size, 10
 //! repetitions; single connection with 4 threads, or 4 connections with
-//! 4 threads each and 4x the memory. The harness reproduces both scenarios
-//! at laptop scale, prints per-policy total runtimes (the numbers quoted in
-//! Section VII), and emits a CSV time series of resident persistent bytes,
-//! resident temporary bytes, and temp-file size — the curves of the figure.
+//! 4 threads each and 4x the memory. Connections are modelled as concurrent
+//! submissions to a [`QueryService`] with `max_concurrent = connections` —
+//! the service replaces the hand-rolled worker threads this benchmark used
+//! to carry. The admission footprint is overridden with the phase-1 floor:
+//! the figure studies eviction behaviour *under* concurrent pressure, so
+//! queries must genuinely overlap rather than serialize on their phase-2
+//! peak. The harness reproduces both scenarios at laptop scale, prints
+//! per-policy total runtimes (the numbers quoted in Section VII), and emits
+//! a CSV time series of resident persistent bytes, resident temporary
+//! bytes, and temp-file size — the curves of the figure.
 
 use parking_lot::Mutex;
 use rexa_bench::*;
 use rexa_buffer::EvictionPolicy;
+use rexa_core::AggregateConfig;
+use rexa_service::{
+    estimate_footprint, QueryInput, QueryOptions, QueryRequest, QueryService, ServiceConfig,
+};
 use rexa_tpch::Grouping;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -53,7 +64,41 @@ fn main() {
             let mut run_args = args.clone();
             run_args.mem_limit = Some(base_limit * connections);
             let env = build_env(&ds, &run_args, policy);
-            let stats_before = env.mgr.stats();
+            let Env {
+                mgr,
+                db: _db,
+                table,
+            } = env;
+            let table = Arc::new(table);
+            let stats_before = mgr.stats();
+
+            let config = AggregateConfig {
+                threads: run_args.threads,
+                radix_bits: None,
+                ht_capacity: 1 << 14,
+                output_chunk_size: rexa_exec::VECTOR_SIZE,
+                reset_fill_percent: 66,
+            };
+            // Phase-1 floor only (rows = 0): connections must overlap.
+            let floor = estimate_footprint(&config, run_args.page_size, 0, 0);
+            let service = QueryService::new(
+                Arc::clone(&mgr),
+                ServiceConfig {
+                    pool_threads: run_args.threads * connections,
+                    max_concurrent: connections,
+                    queue_bound: connections * run_args.reps,
+                },
+            );
+            let request = || QueryRequest {
+                plan: grouping_plan(grouping, false),
+                input: QueryInput::Table(Arc::clone(&table)),
+                options: QueryOptions {
+                    config: config.clone(),
+                    deadline: Some(run_args.timeout),
+                    footprint: Some(floor),
+                    consumer: Some(Arc::new(|_| Ok(()))),
+                },
+            };
 
             // Sampler thread: the memory time series of the figure.
             let stop = AtomicBool::new(false);
@@ -63,7 +108,7 @@ fn main() {
             let total = std::thread::scope(|s| {
                 let sampler = s.spawn(|| {
                     while !stop.load(Ordering::Relaxed) {
-                        let st = env.mgr.stats();
+                        let st = mgr.stats();
                         series.lock().push((
                             start.elapsed().as_millis(),
                             st.persistent_resident,
@@ -75,39 +120,26 @@ fn main() {
                         std::thread::sleep(Duration::from_millis(25));
                     }
                 });
-                let workers: Vec<_> = (0..connections)
+                // `connections x reps` queries, `connections` running at
+                // once — the service's admission queue carries the backlog
+                // the per-connection loops used to.
+                let handles: Vec<_> = (0..connections * run_args.reps)
                     .map(|_| {
-                        let env = &env;
-                        let run_args = &run_args;
-                        s.spawn(move || {
-                            for _ in 0..run_args.reps {
-                                let out = run_grouping(
-                                    SystemKind::Robust,
-                                    env,
-                                    grouping,
-                                    false,
-                                    &HarnessArgs {
-                                        reps: 1,
-                                        ..run_args.clone()
-                                    },
-                                );
-                                assert!(
-                                    matches!(out, Outcome::Done { .. }),
-                                    "robust run failed: {out:?}"
-                                );
-                            }
-                        })
+                        service
+                            .submit(request())
+                            .expect("submit within queue bound")
                     })
                     .collect();
-                for w in workers {
-                    w.join().unwrap();
+                for h in handles {
+                    let out = h.wait();
+                    assert!(out.is_ok(), "robust run failed: {:?}", out.err());
                 }
                 stop.store(true, Ordering::Relaxed);
                 sampler.join().unwrap();
                 start.elapsed().as_secs_f64()
             });
 
-            let delta = env.mgr.stats().delta_since(&stats_before);
+            let delta = mgr.stats().delta_since(&stats_before);
             for (ms, p, t, f) in series.lock().iter() {
                 println!(
                     "csv:{connections}conn,{policy},{ms},{:.2},{:.2},{:.2}",
@@ -121,7 +153,10 @@ fn main() {
                 policy.to_string(),
                 format!("{total:.2}"),
                 format!("{:.1}", *max_temp.lock() as f64 / 1048576.0),
-                format!("{}/{}", delta.evictions_persistent, delta.evictions_temporary),
+                format!(
+                    "{}/{}",
+                    delta.evictions_persistent, delta.evictions_temporary
+                ),
             ]);
             eprintln!(
                 "  {connections}conn {policy}: {total:.2}s (max temp file {:.1} MiB)",

@@ -17,8 +17,10 @@ fn main() {
     for sf in paper_sfs {
         header.push(format!("groups @ sf{sf}-eq"));
     }
-    let mut rows: Vec<Vec<String>> =
-        GROUPINGS.iter().map(|g| vec![g.id.to_string(), g.describe()]).collect();
+    let mut rows: Vec<Vec<String>> = GROUPINGS
+        .iter()
+        .map(|g| vec![g.id.to_string(), g.describe()])
+        .collect();
     for sf in paper_sfs {
         let ds = dataset(sf, &args);
         let env = build_env(&ds, &args, EvictionPolicy::Mixed);

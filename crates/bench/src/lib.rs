@@ -57,7 +57,9 @@ impl Default for HarnessArgs {
         HarnessArgs {
             scale: 1.0 / 512.0,
             timeout: Duration::from_secs(60),
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()).min(8),
+            threads: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8),
             reps: 1,
             page_size: 64 << 10,
             mem_limit: None,
@@ -356,9 +358,10 @@ pub fn run_grouping(
                     output_chunk_size: rexa_exec::VECTOR_SIZE,
                     reset_fill_percent: 66,
                 };
-                let run = hash_aggregate_streaming(&env.mgr, &source, &schema, &plan, &config, &|c| {
-                    consumer.consume(c)
-                })?;
+                let run =
+                    hash_aggregate_streaming(&env.mgr, &source, &schema, &plan, &config, &|c| {
+                        consumer.consume(c)
+                    })?;
                 stats = Some(run.clone());
                 Ok(run.groups)
             }
@@ -459,7 +462,10 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -122,7 +122,12 @@ pub fn run_scaling_figure(wide: bool, paper_sfs: &[f64]) {
             for kind in SystemKind::ALL {
                 let env = build_env(&ds, &args, EvictionPolicy::Mixed);
                 let out = run_grouping(kind, &env, *g, wide, &args);
-                println!("csv:{variant},{sf},{},{},{}", g.id, kind.label(), out.cell());
+                println!(
+                    "csv:{variant},{sf},{},{},{}",
+                    g.id,
+                    kind.label(),
+                    out.cell()
+                );
                 row.push(out.cell());
             }
         }

@@ -102,9 +102,7 @@ impl EvictionQueues {
     pub(crate) fn pop(&self) -> Option<QueueEntry> {
         match self.policy {
             EvictionPolicy::Mixed => self.queues[0].pop(),
-            EvictionPolicy::TemporaryFirst => {
-                self.queues[1].pop().or_else(|| self.queues[0].pop())
-            }
+            EvictionPolicy::TemporaryFirst => self.queues[1].pop().or_else(|| self.queues[0].pop()),
             EvictionPolicy::PersistentFirst => {
                 self.queues[0].pop().or_else(|| self.queues[1].pop())
             }

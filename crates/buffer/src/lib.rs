@@ -40,6 +40,6 @@ pub mod table;
 
 pub use eviction::EvictionPolicy;
 pub use handle::{BlockHandle, BufferTag, PinGuard};
-pub use manager::{BufferManager, BufferManagerConfig, MemoryReservation};
+pub use manager::{BufferManager, BufferManagerConfig, MemoryReservation, ReservationGrant};
 pub use stats::BufferStats;
 pub use table::{Table, TableBuilder, TableSource};

@@ -122,10 +122,31 @@ impl BufferManager {
         self.memory_limit.load(Ordering::Relaxed)
     }
 
-    /// Change the memory limit at runtime. Lowering it does not evict
-    /// immediately; the next reservation will.
+    /// Change the memory limit at runtime.
+    ///
+    /// Lowering the limit below current usage is safe: unpinned pages are
+    /// evicted best-effort right away, while pinned pages and outstanding
+    /// [`MemoryReservation`]s keep their bytes (they were admitted under the
+    /// old limit and cannot be reclaimed without corrupting their owners).
+    /// Usage may therefore stay above the new limit until those are
+    /// released; every *new* reservation is checked against the new limit
+    /// and fails rather than succeeding spuriously.
     pub fn set_memory_limit(&self, limit: usize) {
         self.memory_limit.store(limit, Ordering::Relaxed);
+        let _guard = self.evict_lock.lock();
+        while self.memory_used() > self.memory_limit() {
+            match self.evict_one() {
+                Ok(Some(buf)) => {
+                    let freed = buf.len();
+                    drop(buf);
+                    self.used.fetch_sub(freed, Ordering::Relaxed);
+                }
+                // Nothing evictable, or a spill I/O error: stop. This path
+                // is best-effort; the next reservation retries eviction and
+                // is where failures are reported.
+                Ok(None) | Err(_) => break,
+            }
+        }
     }
 
     /// Bytes currently counted against the limit.
@@ -166,7 +187,9 @@ impl BufferManager {
         loop {
             let used = self.used.load(Ordering::Relaxed);
             let limit = self.memory_limit();
-            if used + size <= limit {
+            // checked_add: a pathological `size` must not wrap around and
+            // "fit" (release builds do not trap on overflow).
+            if used.checked_add(size).is_some_and(|total| total <= limit) {
                 if self
                     .used
                     .compare_exchange_weak(used, used + size, Ordering::Relaxed, Ordering::Relaxed)
@@ -195,7 +218,10 @@ impl BufferManager {
                     // query's partitions being destroyed). Only report OOM
                     // if the request still does not fit *now*.
                     let used_now = self.used.load(Ordering::Relaxed);
-                    if used_now + size <= self.memory_limit() {
+                    if used_now
+                        .checked_add(size)
+                        .is_some_and(|total| total <= self.memory_limit())
+                    {
                         continue;
                     }
                     return Err(Error::OutOfMemory {
@@ -507,12 +533,70 @@ impl MemoryReservation {
         self.size = new_size;
         Ok(())
     }
+
+    /// Move `bytes` out of this reservation into a new one. This is a local
+    /// transfer — global accounting is untouched, so it cannot fail for lack
+    /// of memory and cannot race other reservations. Returns `None` when the
+    /// reservation holds fewer than `bytes`.
+    ///
+    /// This is how an admission grant is *spent*: the query service reserves
+    /// a query's footprint up front, and the operator carves its unspillable
+    /// allocations out of the grant instead of charging the manager twice.
+    pub fn split(&mut self, bytes: usize) -> Option<MemoryReservation> {
+        if bytes > self.size {
+            return None;
+        }
+        self.size -= bytes;
+        Some(MemoryReservation {
+            mgr: Arc::clone(&self.mgr),
+            size: bytes,
+        })
+    }
 }
 
 impl Drop for MemoryReservation {
     fn drop(&mut self) {
         self.mgr.release_bytes(self.size);
         self.mgr.non_paged.fetch_sub(self.size, Ordering::Relaxed);
+    }
+}
+
+/// A shareable admission grant over a [`MemoryReservation`].
+///
+/// Implements [`rexa_exec::MemoryGrant`], so an operator running with an
+/// [`ExecContext`](rexa_exec::ExecContext) that carries the grant spends it
+/// as it materialises the memory the footprint estimate promised, instead of
+/// charging the manager twice (once for the reservation, once for the
+/// allocation).
+pub struct ReservationGrant(Mutex<MemoryReservation>);
+
+impl ReservationGrant {
+    /// Wrap a reservation for sharing across the query's worker threads.
+    pub fn new(reservation: MemoryReservation) -> Self {
+        ReservationGrant(Mutex::new(reservation))
+    }
+
+    /// Bytes not yet carved out of the grant.
+    pub fn remaining(&self) -> usize {
+        self.0.lock().size()
+    }
+}
+
+impl rexa_exec::MemoryGrant for ReservationGrant {
+    fn take(&self, bytes: usize) -> Option<Box<dyn std::any::Any + Send + Sync>> {
+        self.0
+            .lock()
+            .split(bytes)
+            .map(|r| Box::new(r) as Box<dyn std::any::Any + Send + Sync>)
+    }
+
+    fn spend(&self, bytes: usize) -> usize {
+        let mut r = self.0.lock();
+        let spent = bytes.min(r.size());
+        let target = r.size() - spent;
+        // Shrinking cannot fail.
+        let _ = r.resize(target);
+        spent
     }
 }
 

@@ -8,7 +8,9 @@
 //! * after dropping everything, used == 0 and the temp file is empty.
 
 use proptest::prelude::*;
-use rexa_buffer::{BlockHandle, BufferManager, BufferManagerConfig, EvictionPolicy, MemoryReservation, PinGuard};
+use rexa_buffer::{
+    BlockHandle, BufferManager, BufferManagerConfig, EvictionPolicy, MemoryReservation, PinGuard,
+};
 use rexa_storage::scratch_dir;
 use std::sync::Arc;
 
@@ -57,8 +59,103 @@ fn check_invariants(mgr: &BufferManager) {
     );
 }
 
+fn small_mgr(limit_pages: usize) -> Arc<BufferManager> {
+    BufferManager::new(
+        BufferManagerConfig::with_limit(limit_pages * PAGE)
+            .page_size(PAGE)
+            .policy(EvictionPolicy::Mixed)
+            .temp_dir(scratch_dir("acct-reg").unwrap()),
+    )
+    .unwrap()
+}
+
+/// Regression: lowering the limit below current usage must not panic or
+/// underflow, must evict what is evictable, and must not let new
+/// reservations succeed against headroom that no longer exists.
+#[test]
+fn lowering_limit_below_usage_is_safe() {
+    let mgr = small_mgr(16);
+
+    // 4 pages pinned (unreclaimable), 8 pages unpinned (evictable), plus a
+    // 2-page reservation: 14 pages in use against a 16-page limit.
+    let pinned: Vec<_> = (0..4).map(|_| mgr.allocate_page().unwrap()).collect();
+    let unpinned: Vec<_> = (0..8)
+        .map(|_| {
+            let (handle, pin) = mgr.allocate_page().unwrap();
+            drop(pin);
+            handle
+        })
+        .collect();
+    let reservation = mgr.reserve(2 * PAGE).unwrap();
+    assert_eq!(mgr.memory_used(), 14 * PAGE);
+
+    // Lower the limit to 3 pages — below even the unreclaimable part.
+    mgr.set_memory_limit(3 * PAGE);
+
+    // The unpinned pages were evicted right away; the pins and the
+    // reservation keep their 6 pages, still above the new limit.
+    assert_eq!(mgr.memory_used(), 6 * PAGE);
+    let s = mgr.stats();
+    assert_eq!(
+        s.memory_used,
+        s.persistent_resident + s.temporary_resident + s.non_paged
+    );
+
+    // No new reservation may be admitted while usage exceeds the limit.
+    assert!(mgr.reserve(PAGE).unwrap_err().is_oom());
+
+    // Releasing the old holders brings usage back under the limit and
+    // reservations work again.
+    drop(reservation);
+    drop(pinned);
+    assert_eq!(mgr.memory_used(), 0);
+    let r = mgr.reserve(2 * PAGE).unwrap();
+    assert_eq!(mgr.memory_used(), 2 * PAGE);
+    drop(r);
+
+    // The evicted pages are still intact (spilled, not lost).
+    for handle in &unpinned {
+        mgr.pin(handle).unwrap();
+    }
+}
+
+/// Regression: a reservation so large that `used + size` would wrap must
+/// fail with OOM, not wrap around and succeed.
+#[test]
+fn absurd_reservation_size_fails_cleanly() {
+    let mgr = small_mgr(8);
+    let _held = mgr.reserve(2 * PAGE).unwrap();
+    let err = mgr.reserve(usize::MAX - PAGE).unwrap_err();
+    assert!(err.is_oom(), "expected OOM, got {err}");
+    // Accounting is untouched by the failed attempt.
+    assert_eq!(mgr.memory_used(), 2 * PAGE);
+    let s = mgr.stats();
+    assert_eq!(
+        s.memory_used,
+        s.persistent_resident + s.temporary_resident + s.non_paged
+    );
+}
+
+/// Lowering the limit with only unpinned pages resident brings usage under
+/// the new limit immediately, without waiting for the next reservation.
+#[test]
+fn lowering_limit_evicts_promptly() {
+    let mgr = small_mgr(12);
+    let handles: Vec<_> = (0..10)
+        .map(|_| {
+            let (handle, pin) = mgr.allocate_page().unwrap();
+            drop(pin);
+            handle
+        })
+        .collect();
+    assert_eq!(mgr.memory_used(), 10 * PAGE);
+    mgr.set_memory_limit(4 * PAGE);
+    assert!(mgr.memory_used() <= 4 * PAGE);
+    drop(handles);
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn random_op_sequences_preserve_invariants(

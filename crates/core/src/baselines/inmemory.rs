@@ -139,8 +139,7 @@ impl LocalSink for InMemLocal<'_> {
     fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
         self.sink.cancel.check()?;
         let bound = self.sink.bound;
-        let group_views: Vec<&Vector> =
-            bound.group_cols.iter().map(|&c| chunk.column(c)).collect();
+        let group_views: Vec<&Vector> = bound.group_cols.iter().map(|&c| chunk.column(c)).collect();
         for i in 0..chunk.len() {
             self.key_scratch.clear();
             serialize_row(&group_views, i, &mut self.key_scratch);

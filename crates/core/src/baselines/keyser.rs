@@ -72,7 +72,11 @@ pub(crate) fn decode_value(bytes: &[u8], pos: &mut usize, ty: LogicalType) -> Re
 }
 
 /// Decode a whole row of `types` at `pos`.
-pub(crate) fn decode_row(bytes: &[u8], pos: &mut usize, types: &[LogicalType]) -> Result<Vec<Value>> {
+pub(crate) fn decode_row(
+    bytes: &[u8],
+    pos: &mut usize,
+    types: &[LogicalType],
+) -> Result<Vec<Value>> {
     types.iter().map(|&t| decode_value(bytes, pos, t)).collect()
 }
 

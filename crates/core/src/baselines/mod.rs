@@ -169,7 +169,11 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(stats.runs >= 2, "expected external runs, got {}", stats.runs);
+        assert!(
+            stats.runs >= 2,
+            "expected external runs, got {}",
+            stats.runs
+        );
         assert!(stats.spill_bytes > 0);
         assert_eq!(sorted_rows(&out.lock()), want(&coll));
     }
@@ -236,21 +240,11 @@ mod tests {
         cancel.cancel();
         let source = CollectionSource::new(&coll);
         let err =
-            sort_aggregate(&mgr, &source, coll.types(), &g, &a, &cancel, &|_| Ok(()))
-                .unwrap_err();
+            sort_aggregate(&mgr, &source, coll.types(), &g, &a, &cancel, &|_| Ok(())).unwrap_err();
         assert!(matches!(err, rexa_exec::Error::Cancelled));
         let source = CollectionSource::new(&coll);
-        let err = in_memory_aggregate(
-            &mgr,
-            &source,
-            coll.types(),
-            &g,
-            &a,
-            2,
-            &cancel,
-            &|_| Ok(()),
-        )
-        .unwrap_err();
+        let err = in_memory_aggregate(&mgr, &source, coll.types(), &g, &a, 2, &cancel, &|_| Ok(()))
+            .unwrap_err();
         assert!(matches!(err, rexa_exec::Error::Cancelled));
     }
 }

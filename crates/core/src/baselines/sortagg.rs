@@ -148,8 +148,8 @@ pub fn sort_aggregate(
     let mut run_paths: Vec<PathBuf> = Vec::new();
 
     let flush_run = |buffer: &mut Vec<Record>,
-                         run_paths: &mut Vec<PathBuf>,
-                         stats: &mut SortAggStats|
+                     run_paths: &mut Vec<PathBuf>,
+                     stats: &mut SortAggStats|
      -> Result<()> {
         if buffer.is_empty() {
             return Ok(());
@@ -174,8 +174,7 @@ pub fn sort_aggregate(
         let mut reader = source.reader();
         while let Some(chunk) = reader.next()? {
             cancel.check()?;
-            let group_views: Vec<&Vector> =
-                group_cols.iter().map(|&c| chunk.column(c)).collect();
+            let group_views: Vec<&Vector> = group_cols.iter().map(|&c| chunk.column(c)).collect();
             for i in 0..chunk.len() {
                 let mut bytes = Vec::new();
                 serialize_row(&group_views, i, &mut bytes);
@@ -212,9 +211,9 @@ pub fn sort_aggregate(
     // ---- merge + streaming aggregation ------------------------------------
     let mut out = DataChunk::empty(&output_types);
     let emit_group = |key: &[u8],
-                          states: Vec<RefState>,
-                          out: &mut DataChunk,
-                          stats: &mut SortAggStats|
+                      states: Vec<RefState>,
+                      out: &mut DataChunk,
+                      stats: &mut SortAggStats|
      -> Result<()> {
         let mut pos = 0usize;
         let mut row = decode_row(key, &mut pos, &group_types)?;
@@ -259,7 +258,12 @@ pub fn sort_aggregate(
             cancel.check()?;
             if cur_key.as_deref() != Some(rec.key()) {
                 if let Some(k) = cur_key.take() {
-                    emit_group(&k, std::mem::replace(&mut states, new_states(&aggs)), &mut out, &mut stats)?;
+                    emit_group(
+                        &k,
+                        std::mem::replace(&mut states, new_states(&aggs)),
+                        &mut out,
+                        &mut stats,
+                    )?;
                 }
                 cur_key = Some(rec.key().to_vec());
             }
@@ -304,7 +308,12 @@ pub fn sort_aggregate(
             let rec = reader.current.take().expect("heap entry has a record");
             if cur_key.as_deref() != Some(rec.key()) {
                 if let Some(k) = cur_key.take() {
-                    emit_group(&k, std::mem::replace(&mut states, new_states(&aggs)), &mut out, &mut stats)?;
+                    emit_group(
+                        &k,
+                        std::mem::replace(&mut states, new_states(&aggs)),
+                        &mut out,
+                        &mut stats,
+                    )?;
                 }
                 cur_key = Some(rec.key().to_vec());
             }

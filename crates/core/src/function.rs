@@ -278,7 +278,8 @@ pub unsafe fn update_state(agg: &BoundAggregate, state: *mut u8, col: Option<&Ve
                 LogicalType::Float64 => {
                     let v = numeric(col, row);
                     let cur = read_f64(state.add(MM_VALUE));
-                    if !seen || (want_min && v.total_cmp(&cur).is_lt())
+                    if !seen
+                        || (want_min && v.total_cmp(&cur).is_lt())
                         || (!want_min && v.total_cmp(&cur).is_gt())
                     {
                         write_f64(state.add(MM_VALUE), v);
@@ -553,10 +554,7 @@ mod tests {
             for row in 0..3 {
                 update_state(&avg, s.as_mut_ptr(), Some(&col), row);
             }
-            assert_eq!(
-                finalize_state(&avg, s.as_ptr()),
-                Value::Float64(7.0 / 3.0)
-            );
+            assert_eq!(finalize_state(&avg, s.as_ptr()), Value::Float64(7.0 / 3.0));
         }
         let empty = state_for(&avg);
         unsafe {

@@ -19,9 +19,9 @@
 //! bit 47 marks those (user-space pointers on x86-64/aarch64 stay below
 //! 2^47).
 
-use rexa_buffer::{BufferManager, MemoryReservation};
+use rexa_buffer::BufferManager;
 use rexa_exec::hashing::POINTER_BITS;
-use rexa_exec::Result;
+use rexa_exec::{ExecContext, Result};
 
 /// Mask of the pointer bits of an entry.
 pub const PTR_MASK: u64 = (1 << POINTER_BITS) - 1;
@@ -78,20 +78,39 @@ pub struct SaltedHashTable {
     entries: Vec<u64>,
     mask: u64,
     count: usize,
-    _reservation: MemoryReservation,
+    /// What accounts for the entry array: a fresh [`MemoryReservation`]
+    /// (rexa_buffer) or a token carved from the query's admission grant.
+    /// Either way, dropping it releases the bytes to the global accounting.
+    _memory: Box<dyn std::any::Any + Send + Sync>,
 }
 
 impl SaltedHashTable {
     /// Allocate a table with `capacity` entries (rounded up to a power of
     /// two), accounted as a non-paged allocation.
     pub fn with_capacity(mgr: &BufferManager, capacity: usize) -> Result<Self> {
+        Self::with_capacity_ctx(mgr, capacity, &ExecContext::new())
+    }
+
+    /// Like [`with_capacity`](Self::with_capacity), but draws the bytes from
+    /// `ctx`'s memory grant when one is attached and has room — the grant
+    /// was admitted against the memory limit already, so the array does not
+    /// charge the manager a second time. Falls back to a fresh reservation.
+    pub fn with_capacity_ctx(
+        mgr: &BufferManager,
+        capacity: usize,
+        ctx: &ExecContext,
+    ) -> Result<Self> {
         let capacity = capacity.next_power_of_two().max(64);
-        let reservation = mgr.reserve(capacity * 8)?;
+        let bytes = capacity * 8;
+        let memory: Box<dyn std::any::Any + Send + Sync> = match ctx.carve(bytes) {
+            Some(token) => token,
+            None => Box::new(mgr.reserve(bytes)?),
+        };
         Ok(SaltedHashTable {
             entries: vec![0u64; capacity],
             mask: capacity as u64 - 1,
             count: 0,
-            _reservation: reservation,
+            _memory: memory,
         })
     }
 

@@ -56,7 +56,9 @@ pub struct JoinConfig {
 impl Default for JoinConfig {
     fn default() -> Self {
         JoinConfig {
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()).min(16),
+            threads: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(16),
             radix_bits: None,
             output_chunk_size: VECTOR_SIZE,
             release_every: 32,
@@ -173,8 +175,8 @@ impl LocalSink for LocalMaterialize<'_> {
         // Hash the keys; drop rows with any NULL key (inner-join semantics).
         self.hashes.clear();
         self.hashes.resize(n, 0);
-        for ci in 0..side.key_cols {
-            hashing::hash_vector(views[ci], &mut self.hashes, ci > 0);
+        for (ci, view) in views.iter().enumerate().take(side.key_cols) {
+            hashing::hash_vector(view, &mut self.hashes, ci > 0);
         }
         self.sel.clear();
         'rows: for i in 0..n {
@@ -241,7 +243,11 @@ pub fn hash_join_streaming(
         mgr,
         radix_bits,
         release_every: config.release_every,
-        shared: Mutex::new(PartitionedTupleData::new(mgr, &build_side.layout, radix_bits)),
+        shared: Mutex::new(PartitionedTupleData::new(
+            mgr,
+            &build_side.layout,
+            radix_bits,
+        )),
         rows: AtomicUsize::new(0),
     };
     Pipeline::run(build, &build_sink, config.threads)?;
@@ -250,7 +256,11 @@ pub fn hash_join_streaming(
         mgr,
         radix_bits,
         release_every: config.release_every,
-        shared: Mutex::new(PartitionedTupleData::new(mgr, &probe_side.layout, radix_bits)),
+        shared: Mutex::new(PartitionedTupleData::new(
+            mgr,
+            &probe_side.layout,
+            radix_bits,
+        )),
         rows: AtomicUsize::new(0),
     };
     Pipeline::run(probe, &probe_sink, config.threads)?;

@@ -33,9 +33,9 @@ pub mod simple;
 pub mod ungrouped;
 
 pub use function::{AggKind, AggregateSpec, BoundAggregate};
-pub use operator::{
-    hash_aggregate_collect, hash_aggregate_streaming, output_schema, AggregateConfig,
-    HashAggregatePlan, RunStats,
-};
 pub use join::{hash_join_collect, hash_join_streaming, HashJoinPlan, JoinConfig, JoinStats};
+pub use operator::{
+    hash_aggregate_collect, hash_aggregate_streaming, hash_aggregate_streaming_ctx, output_schema,
+    plan_row_width, AggregateConfig, HashAggregatePlan, RunStats,
+};
 pub use ungrouped::ungrouped_aggregate;

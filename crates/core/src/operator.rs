@@ -30,7 +30,8 @@ use crate::ht::{
 };
 use parking_lot::Mutex;
 use rexa_buffer::{BufferManager, BufferStats};
-use rexa_exec::pipeline::{parallel_for, ChunkSource, LocalSink, ParallelSink, Pipeline};
+use rexa_exec::pipeline::{parallel_for_ctx, ChunkSource, LocalSink, ParallelSink, Pipeline};
+use rexa_exec::pool::ExecContext;
 use rexa_exec::vector::VectorData;
 use rexa_exec::{hashing, DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
 use rexa_layout::matcher::{row_row_match, rows_match};
@@ -72,7 +73,9 @@ pub struct AggregateConfig {
 impl Default for AggregateConfig {
     fn default() -> Self {
         AggregateConfig {
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()).min(16),
+            threads: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(16),
             radix_bits: None,
             ht_capacity: 1 << 17,
             output_chunk_size: VECTOR_SIZE,
@@ -90,7 +93,10 @@ impl AggregateConfig {
         }
     }
 
-    fn effective_radix_bits(&self) -> u32 {
+    /// The radix bits this config resolves to (explicit, or derived from the
+    /// thread count). Public so footprint estimators (the query service) can
+    /// see the same partition count the operator will use.
+    pub fn effective_radix_bits(&self) -> u32 {
         self.radix_bits.unwrap_or_else(|| {
             let parts = (self.threads * 4).next_power_of_two();
             (parts.trailing_zeros()).clamp(3, 8)
@@ -219,6 +225,7 @@ struct AggSink<'a> {
     plan: &'a BoundPlan,
     mgr: &'a Arc<BufferManager>,
     config: &'a AggregateConfig,
+    ctx: &'a ExecContext,
     radix_bits: u32,
     shared: Mutex<PartitionedTupleData>,
     rows_in: AtomicUsize,
@@ -244,7 +251,7 @@ impl ParallelSink for AggSink<'_> {
     fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
         Ok(Box::new(LocalAgg {
             sink: self,
-            ht: SaltedHashTable::with_capacity(self.mgr, self.config.ht_capacity)?,
+            ht: SaltedHashTable::with_capacity_ctx(self.mgr, self.config.ht_capacity, self.ctx)?,
             data: PartitionedTupleData::new(self.mgr, &self.plan.layout, self.radix_bits),
             targets: Vec::new(),
             hashes: Vec::new(),
@@ -271,8 +278,7 @@ impl LocalSink for LocalAgg<'_> {
         if n == 0 {
             return Ok(());
         }
-        let group_views: Vec<&Vector> =
-            plan.group_cols.iter().map(|&c| chunk.column(c)).collect();
+        let group_views: Vec<&Vector> = plan.group_cols.iter().map(|&c| chunk.column(c)).collect();
 
         // Hash the group columns once; the hash is materialized in the row
         // and reused by phase 2.
@@ -331,8 +337,12 @@ impl LocalSink for LocalAgg<'_> {
             for &c in &plan.payload_args {
                 layout_views.push(chunk.column(c));
             }
-            self.data
-                .append(&layout_views, &self.hashes, &self.new_sel, Some(&mut new_ptrs))?;
+            self.data.append(
+                &layout_views,
+                &self.hashes,
+                &self.new_sel,
+                Some(&mut new_ptrs),
+            )?;
             // Patch pending entries to real row pointers.
             for (ord, &slot) in self.pending_slots.iter().enumerate() {
                 let h = self.hashes[self.new_sel[ord] as usize];
@@ -384,6 +394,7 @@ fn finalize_partition(
     plan: &BoundPlan,
     mgr: &Arc<BufferManager>,
     config: &AggregateConfig,
+    ctx: &ExecContext,
     mut part: TupleDataCollection,
     consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
     groups_out: &AtomicUsize,
@@ -391,13 +402,19 @@ fn finalize_partition(
     if part.rows() == 0 {
         return Ok(());
     }
+    // Spend grant headroom for the pages this partition is about to pin:
+    // the admission footprint promised them, and releasing the bytes here
+    // means the pins consume the promised headroom instead of charging the
+    // limit a second time.
+    ctx.spend_grant(part.data_bytes());
     let pins = part.pin_all()?;
     let layout = &plan.layout;
     let cap = (part.rows() * 2).next_power_of_two().max(1024);
-    let mut ht = SaltedHashTable::with_capacity(mgr, cap)?;
+    let mut ht = SaltedHashTable::with_capacity_ctx(mgr, cap, ctx)?;
     let mut live: Vec<*mut u8> = Vec::new();
     let mut ptrs: Vec<*mut u8> = Vec::new();
     for c in 0..part.chunk_count() {
+        ctx.check_cancelled()?;
         ptrs.clear();
         part.chunk_row_ptrs(&pins, c, &mut ptrs);
         for &row in &ptrs {
@@ -431,14 +448,13 @@ fn finalize_partition(
     // Emit the surviving groups ("fully aggregated partitions are
     // immediately scanned" — pushed to the consumer, then freed).
     for batch in live.chunks(config.output_chunk_size.max(1)) {
+        ctx.check_cancelled()?;
         // SAFETY: batch pointers come from this collection under `pins`.
         let gathered = unsafe { part.gather(batch) };
         let mut columns: Vec<Vector> = gathered.columns()[..plan.key_cols].to_vec();
         for slot in &plan.out_slots {
             match slot {
-                OutSlot::Payload(p) => {
-                    columns.push(gathered.column(plan.key_cols + p).clone())
-                }
+                OutSlot::Payload(p) => columns.push(gathered.column(plan.key_cols + p).clone()),
                 OutSlot::State(s) => {
                     let agg = &plan.state_aggs[*s];
                     let off = layout.aggr_offset(*s);
@@ -470,6 +486,32 @@ pub fn hash_aggregate_streaming(
     config: &AggregateConfig,
     consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
 ) -> Result<RunStats> {
+    hash_aggregate_streaming_ctx(
+        mgr,
+        source,
+        input_schema,
+        plan,
+        config,
+        &ExecContext::new(),
+        consumer,
+    )
+}
+
+/// Like [`hash_aggregate_streaming`], but scheduled through `ctx`: both
+/// phases run on the context's shared worker pool (when it has one), and the
+/// context's cancellation token is checked between chunks in phase 1 and
+/// between chunk batches in phase 2. On cancellation every thread-local and
+/// partitioned intermediate is dropped before this returns, so pinned pages
+/// are unpinned and spill files deleted promptly.
+pub fn hash_aggregate_streaming_ctx(
+    mgr: &Arc<BufferManager>,
+    source: &dyn ChunkSource,
+    input_schema: &[LogicalType],
+    plan: &HashAggregatePlan,
+    config: &AggregateConfig,
+    ctx: &ExecContext,
+    consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
+) -> Result<RunStats> {
     assert!(
         config.ht_capacity >= 4 * VECTOR_SIZE,
         "phase-1 table must be at least 4x the vector size"
@@ -482,6 +524,7 @@ pub fn hash_aggregate_streaming(
         plan: &bound,
         mgr,
         config,
+        ctx,
         radix_bits,
         shared: Mutex::new(PartitionedTupleData::new(mgr, &bound.layout, radix_bits)),
         rows_in: AtomicUsize::new(0),
@@ -489,16 +532,17 @@ pub fn hash_aggregate_streaming(
     };
 
     let t0 = Instant::now();
-    Pipeline::run(source, &sink, config.threads)?;
+    Pipeline::run_ctx(source, &sink, config.threads, ctx)?;
     let phase1 = t0.elapsed();
 
+    ctx.check_cancelled()?;
     let t1 = Instant::now();
     let shared = Mutex::new(sink.shared.into_inner());
     let groups_out = AtomicUsize::new(0);
     let partitions = 1usize << radix_bits;
-    parallel_for(partitions, config.threads, &|p| {
+    parallel_for_ctx(partitions, config.threads, ctx, &|p| {
         let part = shared.lock().take_partition(p);
-        finalize_partition(&bound, mgr, config, part, consumer, &groups_out)
+        finalize_partition(&bound, mgr, config, ctx, part, consumer, &groups_out)
     })?;
     let phase2 = t1.elapsed();
 
@@ -532,8 +576,18 @@ pub fn hash_aggregate_collect(
 
 /// The output schema (group columns then aggregates) of a plan against an
 /// input schema.
-pub fn output_schema(plan: &HashAggregatePlan, input_schema: &[LogicalType]) -> Result<Vec<LogicalType>> {
+pub fn output_schema(
+    plan: &HashAggregatePlan,
+    input_schema: &[LogicalType],
+) -> Result<Vec<LogicalType>> {
     Ok(bind_plan(plan, input_schema)?.output_types)
+}
+
+/// Bytes per materialized row (hash, group keys, aggregate states) for a
+/// plan against an input schema. Footprint estimators use this to size the
+/// pinned-partition part of a query's memory demand.
+pub fn plan_row_width(plan: &HashAggregatePlan, input_schema: &[LogicalType]) -> Result<usize> {
+    Ok(bind_plan(plan, input_schema)?.layout.row_width())
 }
 
 #[cfg(test)]
@@ -598,13 +652,12 @@ mod tests {
         mgr: &Arc<BufferManager>,
     ) -> RunStats {
         let source = CollectionSource::new(coll);
-        let (out, stats) = hash_aggregate_collect(mgr, &source, coll.types(), plan, config)
-            .unwrap();
+        let (out, stats) =
+            hash_aggregate_collect(mgr, &source, coll.types(), plan, config).unwrap();
         let got = sorted_rows(out.chunks());
         let source = CollectionSource::new(coll);
         let want =
-            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates)
-                .unwrap();
+            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates).unwrap();
         assert_eq!(got.len(), want.len(), "group count mismatch");
         for (g, w) in got.iter().zip(&want) {
             assert_eq!(g, w);
@@ -688,7 +741,8 @@ mod tests {
         for _ in 0..10 {
             let keys: Vec<i64> = (0..VECTOR_SIZE as i64).map(|i| k + i).collect();
             k += VECTOR_SIZE as i64;
-            coll.push(DataChunk::new(vec![Vector::from_i64(keys)])).unwrap();
+            coll.push(DataChunk::new(vec![Vector::from_i64(keys)]))
+                .unwrap();
         }
         let mgr = mgr_with(64 << 20, 64 << 10);
         let plan = HashAggregatePlan {
@@ -723,7 +777,11 @@ mod tests {
         let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
         let mut chunk = DataChunk::empty(coll.types());
         for i in 0..100i64 {
-            let key = if i % 3 == 0 { Value::Null } else { Value::Int64(i % 5) };
+            let key = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int64(i % 5)
+            };
             chunk.push_row(&[key, Value::Int64(i)]).unwrap();
         }
         coll.push(chunk).unwrap();
@@ -807,14 +865,17 @@ mod tests {
             reset_fill_percent: 66,
         };
         let source = CollectionSource::new(&coll);
-        let err =
-            hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap_err();
+        let err = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap_err();
         assert!(err.is_oom(), "expected OOM, got {err}");
     }
 
     #[test]
     fn output_schema_matches_plan() {
-        let schema = vec![LogicalType::Int64, LogicalType::Varchar, LogicalType::Float64];
+        let schema = vec![
+            LogicalType::Int64,
+            LogicalType::Varchar,
+            LogicalType::Float64,
+        ];
         let plan = HashAggregatePlan {
             group_cols: vec![1],
             aggregates: vec![
@@ -858,6 +919,65 @@ mod tests {
     }
 
     #[test]
+    fn pooled_context_matches_reference() {
+        use rexa_exec::pool::WorkerPool;
+        let coll = make_input(30_000, 800, 11);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        let ctx = ExecContext::with_pool(Arc::new(WorkerPool::new(4)));
+        let source = CollectionSource::new(&coll);
+        let out = Mutex::new(ChunkCollection::new(
+            output_schema(&plan, coll.types()).unwrap(),
+        ));
+        let stats = hash_aggregate_streaming_ctx(
+            &mgr,
+            &source,
+            coll.types(),
+            &plan,
+            &small_config(4),
+            &ctx,
+            &|chunk| out.lock().push(chunk),
+        )
+        .unwrap();
+        let got = sorted_rows(out.into_inner().chunks());
+        let source = CollectionSource::new(&coll);
+        let want =
+            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.rows_in, 30_000);
+    }
+
+    #[test]
+    fn cancelled_context_aborts_and_releases_everything() {
+        let coll = make_input(40_000, 40_000, 12);
+        let mgr = mgr_with(64 << 20, 4 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star()],
+        };
+        let ctx = ExecContext::new();
+        ctx.cancel_token().cancel();
+        let source = CollectionSource::new(&coll);
+        let err = hash_aggregate_streaming_ctx(
+            &mgr,
+            &source,
+            coll.types(),
+            &plan,
+            &small_config(4),
+            &ctx,
+            &|_| Ok(()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Cancelled));
+        // Everything the run pinned or spilled must be gone.
+        assert_eq!(mgr.stats().temporary_resident, 0);
+        assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
+    }
+
+    #[test]
     fn deterministic_results_across_runs() {
         let coll = make_input(30_000, 1_000, 7);
         let mgr = mgr_with(64 << 20, 64 << 10);
@@ -867,14 +987,9 @@ mod tests {
         };
         let run = |threads| {
             let source = CollectionSource::new(&coll);
-            let (out, _) = hash_aggregate_collect(
-                &mgr,
-                &source,
-                coll.types(),
-                &plan,
-                &small_config(threads),
-            )
-            .unwrap();
+            let (out, _) =
+                hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &small_config(threads))
+                    .unwrap();
             sorted_rows(out.chunks())
         };
         let a = run(1);

@@ -39,10 +39,16 @@ pub(crate) enum RefState {
     SumF(f64),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
     Any(Option<Value>),
     /// Exact two-pass variance for the oracle: keep all values.
-    Spread { values: Vec<f64>, sample_stddev: bool },
+    Spread {
+        values: Vec<f64>,
+        sample_stddev: bool,
+    },
 }
 
 impl RefState {
@@ -164,8 +170,7 @@ impl RefState {
                 }
                 let n = values.len() as f64;
                 let mean = values.iter().sum::<f64>() / n;
-                let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                    / (n - 1.0);
+                let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
                 Value::Float64(if sample_stddev { var.sqrt() } else { var })
             }
         }
@@ -191,7 +196,12 @@ pub fn reference_aggregate(
     let mut reader = source.reader();
     while let Some(chunk) = reader.next()? {
         for i in 0..chunk.len() {
-            let key = KeyRow(group_cols.iter().map(|&c| chunk.column(c).value(i)).collect());
+            let key = KeyRow(
+                group_cols
+                    .iter()
+                    .map(|&c| chunk.column(c).value(i))
+                    .collect(),
+            );
             let states = groups.entry(key).or_insert_with(|| {
                 aggregates
                     .iter()

@@ -248,8 +248,7 @@ mod tests {
         let coll = input(50_000);
         let get = |threads| {
             let source = CollectionSource::new(&coll);
-            ungrouped_aggregate(&source, coll.types(), &[AggregateSpec::sum(0)], threads)
-                .unwrap()
+            ungrouped_aggregate(&source, coll.types(), &[AggregateSpec::sum(0)], threads).unwrap()
         };
         assert_eq!(get(1), get(2));
         assert_eq!(get(2), get(8));

@@ -27,7 +27,10 @@ impl DataChunk {
         for (i, c) in columns.iter().enumerate() {
             assert_eq!(c.len(), len, "column {i} length mismatch");
         }
-        assert!(len <= VECTOR_SIZE, "chunk of {len} rows exceeds VECTOR_SIZE");
+        assert!(
+            len <= VECTOR_SIZE,
+            "chunk of {len} rows exceeds VECTOR_SIZE"
+        );
         DataChunk { columns, len }
     }
 
@@ -104,7 +107,10 @@ impl DataChunk {
     /// A chunk with the subset of columns given by `projection`.
     pub fn project(&self, projection: &[usize]) -> DataChunk {
         DataChunk {
-            columns: projection.iter().map(|&i| self.columns[i].clone()).collect(),
+            columns: projection
+                .iter()
+                .map(|&i| self.columns[i].clone())
+                .collect(),
             len: self.len,
         }
     }
@@ -203,10 +209,7 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.column_count(), 2);
         assert_eq!(c.types(), vec![LogicalType::Int64, LogicalType::Varchar]);
-        assert_eq!(
-            c.row(1),
-            vec![Value::Int64(2), Value::Varchar("b".into())]
-        );
+        assert_eq!(c.row(1), vec![Value::Int64(2), Value::Varchar("b".into())]);
     }
 
     #[test]

@@ -26,6 +26,20 @@ pub enum Error {
     /// The query was cancelled, e.g. by the benchmark harness timeout
     /// (the paper times queries out after 10 minutes; 'T' cells).
     Cancelled,
+    /// The query exceeded its per-query deadline and was cancelled by the
+    /// service; distinguished from [`Error::Cancelled`] so callers can tell
+    /// their own `cancel()` apart from a timeout.
+    DeadlineExceeded,
+    /// The query service shed this request: the admission queue was already
+    /// holding `queued` requests against a bound of `bound`. Overload is
+    /// reported as this typed error instead of letting requests pile up
+    /// until memory runs out.
+    Overloaded {
+        /// Requests waiting for admission when this one arrived.
+        queued: usize,
+        /// The configured admission-queue bound.
+        bound: usize,
+    },
     /// A feature that rexa intentionally does not implement
     /// (e.g. MIN/MAX over VARCHAR, see DESIGN.md).
     Unsupported(String),
@@ -56,6 +70,11 @@ impl fmt::Display for Error {
             ),
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Cancelled => write!(f, "query cancelled"),
+            Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            Error::Overloaded { queued, bound } => write!(
+                f,
+                "service overloaded: admission queue full ({queued}/{bound} requests waiting)"
+            ),
             Error::Unsupported(s) => write!(f, "unsupported: {s}"),
             Error::InvalidInput(s) => write!(f, "invalid input: {s}"),
             Error::Internal(s) => write!(f, "internal error (bug): {s}"),
@@ -107,5 +126,17 @@ mod tests {
     #[test]
     fn cancelled_is_not_oom() {
         assert!(!Error::Cancelled.is_oom());
+    }
+
+    #[test]
+    fn display_service_errors() {
+        assert!(Error::DeadlineExceeded.to_string().contains("deadline"));
+        let e = Error::Overloaded {
+            queued: 7,
+            bound: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("7/4"));
+        assert!(!e.is_oom());
     }
 }

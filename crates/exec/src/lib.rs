@@ -9,6 +9,9 @@
 //!   bit-budget used by the aggregation hash table,
 //! * [`pipeline`] — a small morsel-driven parallelism framework
 //!   (sources, sinks, thread-local state, combine, parallel task loops),
+//! * [`pool`] — a shared [`WorkerPool`] plus the per-query [`ExecContext`]
+//!   (pool handle + cancellation token) that the query service hands down
+//!   to operators,
 //! * [`Error`] — the engine-wide error type, including the
 //!   [`Error::OutOfMemory`] condition that the robust aggregation is designed
 //!   never to hit and that the baseline algorithms hit head-on.
@@ -21,6 +24,7 @@ pub mod chunk;
 pub mod error;
 pub mod hashing;
 pub mod pipeline;
+pub mod pool;
 pub mod types;
 pub mod validity;
 pub mod value;
@@ -28,7 +32,8 @@ pub mod vector;
 
 pub use chunk::{ChunkCollection, DataChunk, VECTOR_SIZE};
 pub use error::{Error, Result};
-pub use pipeline::{ChunkSource, LocalSink, ParallelSink, Pipeline};
+pub use pipeline::{CancelToken, ChunkSource, LocalSink, ParallelSink, Pipeline};
+pub use pool::{ExecContext, MemoryGrant, WorkerPool};
 pub use types::LogicalType;
 pub use validity::Validity;
 pub use value::Value;

@@ -15,6 +15,7 @@
 
 use crate::chunk::{ChunkCollection, DataChunk};
 use crate::error::{Error, Result};
+use crate::pool::ExecContext;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -131,7 +132,10 @@ impl ChunkReader for CollectionReader<'_> {
         let n = self.source.collection.chunk_count();
         if self.pos == self.end {
             // Claim the next morsel.
-            let start = self.source.cursor.fetch_add(MORSEL_CHUNKS, Ordering::Relaxed);
+            let start = self
+                .source
+                .cursor
+                .fetch_add(MORSEL_CHUNKS, Ordering::Relaxed);
             if start >= n {
                 return Ok(None);
             }
@@ -165,49 +169,76 @@ impl Pipeline {
     /// Run `source → sink` on `threads` worker threads: every worker streams
     /// morsels into its own local sink, then combines into the shared state.
     /// Returns the first error raised by any worker.
+    ///
+    /// Spawns scoped threads per call; a query service should prefer
+    /// [`Pipeline::run_ctx`] with a pooled [`ExecContext`].
     pub fn run(source: &dyn ChunkSource, sink: &dyn ParallelSink, threads: usize) -> Result<()> {
+        Self::run_ctx(source, sink, threads, &ExecContext::new())
+    }
+
+    /// Like [`Pipeline::run`], but schedules the workers through `ctx`: on
+    /// the shared [`WorkerPool`](crate::pool::WorkerPool) when the context
+    /// has one (the submitting thread participates, so a saturated pool
+    /// degrades to inline execution rather than deadlock), and honouring the
+    /// context's cancellation token between chunks.
+    pub fn run_ctx(
+        source: &dyn ChunkSource,
+        sink: &dyn ParallelSink,
+        threads: usize,
+        ctx: &ExecContext,
+    ) -> Result<()> {
         let threads = threads.max(1);
-        if threads == 1 {
+        let work = || {
             let mut reader = source.reader();
             let mut local = sink.local()?;
             while let Some(chunk) = reader.next()? {
-                local.sink(&chunk)?;
-            }
-            return local.combine();
-        }
-        run_on_threads(threads, &|| {
-            let mut reader = source.reader();
-            let mut local = sink.local()?;
-            while let Some(chunk) = reader.next()? {
+                ctx.check_cancelled()?;
                 local.sink(&chunk)?;
             }
             local.combine()
-        })
+        };
+        if threads == 1 {
+            return work();
+        }
+        ctx.run_units(threads, &work)
     }
 }
 
 /// Run `tasks` independent tasks on `threads` worker threads, pulling task
 /// ids from a shared atomic counter (the second-phase scheduling pattern:
 /// tasks are radix partitions). Returns the first error.
+///
+/// Spawns scoped threads per call; a query service should prefer
+/// [`parallel_for_ctx`] with a pooled [`ExecContext`].
 pub fn parallel_for(
     tasks: usize,
     threads: usize,
     f: &(dyn Fn(usize) -> Result<()> + Sync),
 ) -> Result<()> {
+    parallel_for_ctx(tasks, threads, &ExecContext::new(), f)
+}
+
+/// Like [`parallel_for`], but schedules the claim loops through `ctx` and
+/// checks the context's cancellation token before each task.
+pub fn parallel_for_ctx(
+    tasks: usize,
+    threads: usize,
+    ctx: &ExecContext,
+    f: &(dyn Fn(usize) -> Result<()> + Sync),
+) -> Result<()> {
     let threads = threads.max(1).min(tasks.max(1));
     let next = AtomicUsize::new(0);
-    if threads == 1 {
+    let work = || {
         while let Some(task) = claim(&next, tasks) {
-            f(task)?;
-        }
-        return Ok(());
-    }
-    run_on_threads(threads, &|| {
-        while let Some(task) = claim(&next, tasks) {
+            ctx.check_cancelled()?;
             f(task)?;
         }
         Ok(())
-    })
+    };
+    if threads == 1 {
+        return work();
+    }
+    ctx.run_units(threads, &work)
 }
 
 fn claim(next: &AtomicUsize, tasks: usize) -> Option<usize> {
@@ -218,7 +249,8 @@ fn claim(next: &AtomicUsize, tasks: usize) -> Option<usize> {
 /// Spawn `threads` scoped workers running `work`; propagate the first error,
 /// preferring "real" errors over `Cancelled` (a worker that observes another
 /// worker's failure-induced cancellation should not mask the root cause).
-fn run_on_threads(threads: usize, work: &(dyn Fn() -> Result<()> + Sync)) -> Result<()> {
+/// This is the pool-less fallback used by [`ExecContext::run_units`].
+pub(crate) fn run_scoped(threads: usize, work: &(dyn Fn() -> Result<()> + Sync)) -> Result<()> {
     let results: Vec<Result<()>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads).map(|_| s.spawn(work)).collect();
         handles
@@ -254,7 +286,8 @@ mod tests {
         for _ in 0..chunks {
             let vals: Vec<i64> = (0..rows_per_chunk as i64).map(|i| next + i).collect();
             next += rows_per_chunk as i64;
-            coll.push(DataChunk::new(vec![Vector::from_i64(vals)])).unwrap();
+            coll.push(DataChunk::new(vec![Vector::from_i64(vals)]))
+                .unwrap();
         }
         coll
     }
@@ -273,7 +306,10 @@ mod tests {
 
     impl ParallelSink for SumSink {
         fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
-            Ok(Box::new(LocalSum { parent: self, sum: 0 }))
+            Ok(Box::new(LocalSum {
+                parent: self,
+                sum: 0,
+            }))
         }
     }
 
@@ -300,7 +336,11 @@ mod tests {
             };
             let source = CollectionSource::new(&coll);
             Pipeline::run(&source, &sink, threads).unwrap();
-            assert_eq!(sink.total.load(Ordering::Relaxed), expected, "threads={threads}");
+            assert_eq!(
+                sink.total.load(Ordering::Relaxed),
+                expected,
+                "threads={threads}"
+            );
             assert_eq!(sink.combines.load(Ordering::Relaxed), threads);
         }
     }
@@ -406,6 +446,39 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn pooled_context_matches_scoped_execution() {
+        use crate::pool::WorkerPool;
+        let coll = make_collection(200, 100);
+        let expected: i64 = (0..200 * 100).sum();
+        let pool = Arc::new(WorkerPool::new(3));
+        let ctx = ExecContext::with_pool(Arc::clone(&pool));
+        let sink = SumSink {
+            total: AtomicI64::new(0),
+            combines: AtomicUsize::new(0),
+        };
+        let source = CollectionSource::new(&coll);
+        Pipeline::run_ctx(&source, &sink, 4, &ctx).unwrap();
+        assert_eq!(sink.total.load(Ordering::Relaxed), expected);
+        assert_eq!(sink.combines.load(Ordering::Relaxed), 4);
+
+        let done: Vec<AtomicUsize> = (0..31).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_ctx(31, 4, &ctx, &|t| {
+            done[t].fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn cancelled_context_stops_parallel_for() {
+        let ctx = ExecContext::new();
+        ctx.cancel_token().cancel();
+        let err = parallel_for_ctx(8, 4, &ctx, &|_| Ok(())).unwrap_err();
+        assert!(matches!(err, Error::Cancelled));
     }
 
     #[test]

@@ -247,8 +247,7 @@ impl TupleDataCollection {
             if var_cols.is_empty() {
                 take = rows_avail.min(sel.len() - i);
             } else {
-                let first_need =
-                    Self::heap_need(cols, &var_cols, sel[i] as usize);
+                let first_need = Self::heap_need(cols, &var_cols, sel[i] as usize);
                 if first_need > page_size {
                     // A single row larger than a page: dedicated heap page.
                     heap_page = self.oversized_heap_page(first_need)?;
@@ -312,8 +311,7 @@ impl TupleDataCollection {
             for k in 0..take {
                 let input_row = sel[i + k] as usize;
                 // SAFETY: row_start + k < rows_per_page by construction.
-                let row =
-                    unsafe { row_base.add((row_start + k) * self.layout.row_width()) };
+                let row = unsafe { row_base.add((row_start + k) * self.layout.row_width()) };
                 unsafe {
                     self.scatter_row(cols, input_row, hashes[input_row], row, &mut heap_ptr);
                 }
@@ -378,7 +376,11 @@ impl TupleDataCollection {
                     if valid { v[input_row] } else { 0.0 },
                 ),
                 VectorData::Str(v) => {
-                    let s = if valid { v.get(input_row).as_bytes() } else { b"" };
+                    let s = if valid {
+                        v.get(input_row).as_bytes()
+                    } else {
+                        b""
+                    };
                     let rs = if s.len() <= INLINE_LEN {
                         RexaString::inline(s)
                     } else {
@@ -489,9 +491,7 @@ impl TupleDataCollection {
         let base = pins.row[meta.row_page as usize].base_ptr();
         for k in 0..meta.count as usize {
             // SAFETY: within the page by construction.
-            out.push(unsafe {
-                base.add((meta.row_start as usize + k) * self.layout.row_width())
-            });
+            out.push(unsafe { base.add((meta.row_start as usize + k) * self.layout.row_width()) });
         }
     }
 
@@ -663,7 +663,8 @@ mod tests {
         let hashes = hashing::hash_columns(&[a, b], n);
         let sel: Vec<u32> = (0..n as u32).collect();
         let mut ptrs = Vec::new();
-        coll.append(&[a, b], &hashes, &sel, Some(&mut ptrs)).unwrap();
+        coll.append(&[a, b], &hashes, &sel, Some(&mut ptrs))
+            .unwrap();
         (hashes, ptrs)
     }
 

@@ -31,20 +31,14 @@ pub unsafe fn rows_match(
         }
         let slot = row.add(layout.offset(c));
         let eq = match col.data() {
-            VectorData::I32(v) => {
-                std::ptr::read_unaligned(slot as *const i32) == v[input_row]
-            }
-            VectorData::I64(v) => {
-                std::ptr::read_unaligned(slot as *const i64) == v[input_row]
-            }
+            VectorData::I32(v) => std::ptr::read_unaligned(slot as *const i32) == v[input_row],
+            VectorData::I64(v) => std::ptr::read_unaligned(slot as *const i64) == v[input_row],
             VectorData::F64(v) => {
                 // Bitwise comparison: groups were materialized from the same
                 // domain, and NaN != NaN must still form one group.
                 std::ptr::read_unaligned(slot as *const u64) == v[input_row].to_bits()
             }
-            VectorData::Str(v) => {
-                RexaString::read_from(slot).eq_bytes(v.get(input_row).as_bytes())
-            }
+            VectorData::Str(v) => RexaString::read_from(slot).eq_bytes(v.get(input_row).as_bytes()),
         };
         if !eq {
             return false;

@@ -147,11 +147,7 @@ impl PartitionedTupleData {
     /// (page-list moves, no copying). Both must have equal radix bits.
     pub fn combine(&mut self, mut other: PartitionedTupleData) {
         assert_eq!(self.radix_bits, other.radix_bits, "radix bits mismatch");
-        for (dst, src) in self
-            .partitions
-            .iter_mut()
-            .zip(other.partitions.drain(..))
-        {
+        for (dst, src) in self.partitions.iter_mut().zip(other.partitions.drain(..)) {
             dst.merge_from(src);
         }
     }
@@ -184,7 +180,9 @@ mod tests {
         let hashes = hashing::hash_columns(&[&keys], 1000);
         let sel: Vec<u32> = (0..1000).collect();
         let mut ptrs = Vec::new();
-        parts.append(&[&keys], &hashes, &sel, Some(&mut ptrs)).unwrap();
+        parts
+            .append(&[&keys], &hashes, &sel, Some(&mut ptrs))
+            .unwrap();
         assert_eq!(parts.rows(), 1000);
         assert_eq!(ptrs.len(), 1000);
         assert!(ptrs.iter().all(|p| !p.is_null()));
@@ -209,7 +207,9 @@ mod tests {
         // Deliberately shuffled selection.
         let sel = [2u32, 0, 3, 1];
         let mut ptrs = Vec::new();
-        parts.append(&[&keys], &hashes, &sel, Some(&mut ptrs)).unwrap();
+        parts
+            .append(&[&keys], &hashes, &sel, Some(&mut ptrs))
+            .unwrap();
         let layout = parts.partitions()[0].layout().clone();
         for (k, &i) in sel.iter().enumerate() {
             let h = unsafe { layout.read_hash(ptrs[k]) };

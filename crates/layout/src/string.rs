@@ -139,7 +139,11 @@ impl std::fmt::Debug for RexaString {
         if self.is_inlined() {
             // SAFETY: inline strings need no heap.
             let bytes = unsafe { self.as_bytes() };
-            write!(f, "RexaString(inline, {:?})", String::from_utf8_lossy(bytes))
+            write!(
+                f,
+                "RexaString(inline, {:?})",
+                String::from_utf8_lossy(bytes)
+            )
         } else {
             write!(
                 f,

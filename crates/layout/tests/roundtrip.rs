@@ -56,8 +56,7 @@ fn case_strategy() -> impl Strategy<Value = RtCase> {
         any::<bool>(),
     )
         .prop_flat_map(|(types, _, n_rows, page_kib, release_every, squeeze)| {
-            let row: Vec<BoxedStrategy<Value>> =
-                types.iter().map(|&t| value_strategy(t)).collect();
+            let row: Vec<BoxedStrategy<Value>> = types.iter().map(|&t| value_strategy(t)).collect();
             (
                 prop::collection::vec(row, n_rows),
                 Just(types),
@@ -86,7 +85,7 @@ fn null_some(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(40))]
 
     #[test]
     fn scatter_spill_gather_is_identity(case in case_strategy()) {

@@ -1,0 +1,641 @@
+//! `rexa-service`: a concurrent query service over the rexa engine.
+//!
+//! The benchmark harness runs one query at a time (or hand-rolls worker
+//! threads); a real system faces a *stream* of concurrent queries against
+//! one shared buffer manager. This crate adds the missing layer:
+//!
+//! * **Admission control** — submitted queries enter a bounded FIFO queue.
+//!   A query is launched only when a concurrency slot is free *and* a
+//!   [`BufferManager::reserve`]-backed [`MemoryReservation`] for its
+//!   estimated footprint succeeds. When headroom is low, queries wait in
+//!   FIFO order; when the queue itself is full, [`QueryService::submit`]
+//!   sheds the request with the typed [`Error::Overloaded`] instead of
+//!   letting requests pile up until memory runs out.
+//! * **Per-query memory reservations** — the footprint estimate
+//!   ([`estimate_footprint`]) covers the *unspillable* part of a run: the
+//!   phase-1 entry arrays (non-paged) plus the pinned-page floor of the
+//!   radix partitions. The reservation is held for the whole run, so
+//!   concurrent queries can collectively overcommit only what the spill
+//!   machinery can reclaim — the service never admits more unspillable
+//!   demand than the limit.
+//! * **Cancellation and deadlines** — every submission returns a
+//!   [`QueryHandle`] with [`cancel`](QueryHandle::cancel) and an awaitable
+//!   result. Deadlines are enforced by the scheduler for queued *and*
+//!   running queries; a timed-out query fails with
+//!   [`Error::DeadlineExceeded`], releasing its pins, reservations, and
+//!   spill files promptly.
+//! * **Shared worker pool** — all queries execute on one
+//!   [`WorkerPool`](rexa_exec::WorkerPool) instead of spawning
+//!   `queries × threads` OS threads. The per-query driver thread
+//!   participates in its own pipeline work, so a saturated pool degrades to
+//!   inline execution rather than deadlock.
+
+use parking_lot::{Condvar, Mutex};
+use rexa_buffer::{BufferManager, BufferStats, MemoryReservation, ReservationGrant, Table};
+use rexa_core::{
+    hash_aggregate_streaming_ctx, output_schema, plan_row_width, AggregateConfig,
+    HashAggregatePlan, RunStats,
+};
+use rexa_exec::pipeline::{CancelToken, ChunkSource, CollectionSource};
+use rexa_exec::pool::{ExecContext, WorkerPool};
+use rexa_exec::{ChunkCollection, DataChunk, Error, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the shared execution pool.
+    pub pool_threads: usize,
+    /// Maximum queries executing at once; further admitted queries wait.
+    pub max_concurrent: usize,
+    /// Maximum queries *waiting* for admission; submissions past this bound
+    /// are shed with [`Error::Overloaded`].
+    pub queue_bound: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        ServiceConfig {
+            pool_threads: cores.min(16),
+            max_concurrent: 4,
+            queue_bound: 64,
+        }
+    }
+}
+
+/// The input a query aggregates over.
+#[derive(Clone)]
+pub enum QueryInput {
+    /// An in-memory chunk collection.
+    Collection(Arc<ChunkCollection>),
+    /// A persistent paged table, scanned through the buffer manager.
+    Table(Arc<Table>),
+}
+
+impl QueryInput {
+    fn schema(&self) -> Vec<rexa_exec::LogicalType> {
+        match self {
+            QueryInput::Collection(c) => c.types().to_vec(),
+            QueryInput::Table(t) => t.schema().to_vec(),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        match self {
+            QueryInput::Collection(c) => c.rows(),
+            QueryInput::Table(t) => t.rows(),
+        }
+    }
+}
+
+/// Per-query options.
+#[derive(Clone, Default)]
+pub struct QueryOptions {
+    /// Operator configuration (threads, radix bits, table capacity, …).
+    pub config: AggregateConfig,
+    /// Wall-clock budget measured from submission; `None` means unbounded.
+    /// Expiry cancels the query — queued or running — with
+    /// [`Error::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Override the admission footprint estimate (bytes). `None` derives it
+    /// with [`estimate_footprint`].
+    pub footprint: Option<usize>,
+    /// Stream output chunks to this consumer instead of collecting them.
+    /// Collected output is the default ([`QueryOutput::output`]).
+    pub consumer: Option<Arc<dyn Fn(DataChunk) -> Result<()> + Send + Sync>>,
+}
+
+/// One query: a plan over an input, with options.
+#[derive(Clone)]
+pub struct QueryRequest {
+    /// The aggregation plan.
+    pub plan: HashAggregatePlan,
+    /// The input to aggregate.
+    pub input: QueryInput,
+    /// Execution options.
+    pub options: QueryOptions,
+}
+
+/// What a completed query returns.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// The collected result rows (`None` when a streaming consumer was set).
+    pub output: Option<ChunkCollection>,
+    /// Operator statistics for the run.
+    pub stats: RunStats,
+    /// Buffer-manager activity across the query's execution (counters are
+    /// deltas from launch to completion).
+    pub buffer: BufferStats,
+    /// Time spent queued before launch.
+    pub queued_for: Duration,
+}
+
+/// Estimate the unspillable memory footprint of one aggregation run — the
+/// peak across its two phases:
+///
+/// * **Phase 1**: per worker thread, the entry array (8 bytes per slot,
+///   non-paged and never evictable) plus the pinned-page floor of the radix
+///   partitions (one partially-filled page per partition between resets).
+/// * **Phase 2**: up to `threads` partitions are finalized concurrently;
+///   each is fully pinned (`rows_per_partition × row_width`, with a 2×
+///   margin for partition skew) next to a 2-rows-per-slot entry array.
+///
+/// Everything else the operator touches is unpinned between resets and
+/// therefore spillable under pressure. `rows` is the worst case when the
+/// group count is unknown (all rows distinct); callers with a cardinality
+/// estimate can pass that instead.
+pub fn estimate_footprint(
+    config: &AggregateConfig,
+    page_size: usize,
+    rows: usize,
+    row_width: usize,
+) -> usize {
+    let partitions = 1usize << config.effective_radix_bits();
+    let threads = config.threads.max(1);
+    let phase1 = threads * (8 * config.ht_capacity + (partitions + 2) * page_size);
+    let rows_per_part = rows.div_ceil(partitions).saturating_mul(2);
+    let entry_array = (2 * rows_per_part).next_power_of_two().max(1024) * 8;
+    let pinned = rows_per_part.saturating_mul(row_width) + 2 * page_size;
+    let phase2 = threads.min(partitions) * (pinned + entry_array);
+    phase1.max(phase2)
+}
+
+/// Which phase of its life a query is in.
+enum QueryState {
+    Queued,
+    Running,
+    Done(Option<Box<Result<QueryOutput>>>),
+}
+
+/// State shared between a [`QueryHandle`], the scheduler, and the driver.
+struct QueryShared {
+    id: u64,
+    state: Mutex<QueryState>,
+    done: Condvar,
+    cancel: CancelToken,
+    /// Set by the scheduler when it cancels this query for deadline expiry,
+    /// so `Cancelled` can be mapped to `DeadlineExceeded`.
+    deadline_fired: AtomicBool,
+    deadline: Option<Instant>,
+    submitted_at: Instant,
+}
+
+impl QueryShared {
+    fn finish(&self, result: Result<QueryOutput>) {
+        let mut state = self.state.lock();
+        *state = QueryState::Done(Some(Box::new(result)));
+        self.done.notify_all();
+    }
+
+    /// Map a raw run error to the query's externally visible error.
+    fn map_error(&self, e: Error) -> Error {
+        match e {
+            Error::Cancelled if self.deadline_fired.load(Ordering::Relaxed) => {
+                Error::DeadlineExceeded
+            }
+            other => other,
+        }
+    }
+}
+
+/// A submitted query: cancel it, or wait for its result.
+pub struct QueryHandle {
+    shared: Arc<QueryShared>,
+}
+
+impl QueryHandle {
+    /// The service-assigned query id.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Request cancellation. Queued queries fail without launching; running
+    /// queries stop at the next cancellation point, releasing pins,
+    /// reservations, and spill files. Safe to call more than once.
+    pub fn cancel(&self) {
+        self.shared.cancel.cancel();
+    }
+
+    /// True once the query has finished (any way).
+    pub fn is_done(&self) -> bool {
+        matches!(&*self.shared.state.lock(), QueryState::Done(_))
+    }
+
+    /// Block until the query finishes and take its result. Calling `wait`
+    /// a second time returns [`Error::Internal`] (the output moves out).
+    pub fn wait(&self) -> Result<QueryOutput> {
+        let mut state = self.shared.state.lock();
+        loop {
+            match &mut *state {
+                QueryState::Done(result) => {
+                    return result.take().map(|b| *b).unwrap_or_else(|| {
+                        Err(Error::Internal("query result already taken".into()))
+                    })
+                }
+                _ => self.shared.done.wait(&mut state),
+            }
+        }
+    }
+
+    /// Like [`wait`](QueryHandle::wait) with a timeout; `None` if the query
+    /// is still in flight when it elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryOutput>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            match &mut *state {
+                QueryState::Done(result) => {
+                    return Some(result.take().map(|b| *b).unwrap_or_else(|| {
+                        Err(Error::Internal("query result already taken".into()))
+                    }))
+                }
+                _ => {
+                    if self
+                        .shared
+                        .done
+                        .wait_until(&mut state, deadline)
+                        .timed_out()
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct QueuedQuery {
+    shared: Arc<QueryShared>,
+    request: QueryRequest,
+}
+
+struct SchedulerState {
+    queue: VecDeque<QueuedQuery>,
+    running: usize,
+    shutdown: bool,
+    /// Deadlines of queued and running queries, swept by the scheduler.
+    timers: Vec<(Instant, Weak<QueryShared>)>,
+    /// Finished or running driver threads awaiting a join.
+    drivers: Vec<JoinHandle<()>>,
+}
+
+struct ServiceShared {
+    state: Mutex<SchedulerState>,
+    /// Wakes the scheduler: new submission, query completion, shutdown.
+    work: Condvar,
+    mgr: Arc<BufferManager>,
+    pool: Arc<WorkerPool>,
+    config: ServiceConfig,
+}
+
+/// The concurrent query service. See the crate docs for the model.
+pub struct QueryService {
+    shared: Arc<ServiceShared>,
+    scheduler: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl QueryService {
+    /// Start a service over `mgr` with the given configuration.
+    pub fn new(mgr: Arc<BufferManager>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(ServiceShared {
+            state: Mutex::new(SchedulerState {
+                queue: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+                timers: Vec::new(),
+                drivers: Vec::new(),
+            }),
+            work: Condvar::new(),
+            mgr,
+            pool: Arc::new(WorkerPool::new(config.pool_threads)),
+            config,
+        });
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rexa-scheduler".into())
+                .spawn(move || scheduler_loop(&shared))
+                .expect("spawn scheduler")
+        };
+        QueryService {
+            shared,
+            scheduler: Some(scheduler),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Start a service with default configuration.
+    pub fn with_defaults(mgr: Arc<BufferManager>) -> Self {
+        Self::new(mgr, ServiceConfig::default())
+    }
+
+    /// The buffer manager the service runs against.
+    pub fn buffer_manager(&self) -> &Arc<BufferManager> {
+        &self.shared.mgr
+    }
+
+    /// Submit a query. Returns a handle immediately; the query launches once
+    /// a concurrency slot and a memory reservation for its footprint are
+    /// available. Fails with [`Error::Overloaded`] when the admission queue
+    /// is full, without enqueueing.
+    pub fn submit(&self, request: QueryRequest) -> Result<QueryHandle> {
+        // Validate the plan up front so an unrunnable query is rejected at
+        // submission, not after queueing.
+        output_schema(&request.plan, &request.input.schema())?;
+        let now = Instant::now();
+        let shared = Arc::new(QueryShared {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(QueryState::Queued),
+            done: Condvar::new(),
+            cancel: CancelToken::new(),
+            deadline_fired: AtomicBool::new(false),
+            deadline: request.options.deadline.map(|d| now + d),
+            submitted_at: now,
+        });
+        let mut state = self.shared.state.lock();
+        if state.shutdown {
+            return Err(Error::Internal("query service is shut down".into()));
+        }
+        if state.queue.len() >= self.shared.config.queue_bound {
+            return Err(Error::Overloaded {
+                queued: state.queue.len(),
+                bound: self.shared.config.queue_bound,
+            });
+        }
+        if let Some(deadline) = shared.deadline {
+            state.timers.push((deadline, Arc::downgrade(&shared)));
+        }
+        state.queue.push_back(QueuedQuery {
+            shared: Arc::clone(&shared),
+            request,
+        });
+        drop(state);
+        self.shared.work.notify_all();
+        Ok(QueryHandle { shared })
+    }
+
+    /// Queries currently waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Queries currently executing.
+    pub fn running(&self) -> usize {
+        self.shared.state.lock().running
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+            // Fail everything still queued; running queries are cancelled
+            // and the scheduler joins their drivers before exiting.
+            for q in state.queue.drain(..) {
+                q.shared.finish(Err(Error::Cancelled));
+            }
+            for (_, weak) in state.timers.drain(..) {
+                if let Some(q) = weak.upgrade() {
+                    q.cancel.cancel();
+                }
+            }
+        }
+        self.shared.work.notify_all();
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = scheduler.join();
+        }
+    }
+}
+
+/// How long the scheduler sleeps when blocked with no deadline to watch.
+/// Completions and submissions notify it, so this is only a backstop.
+const IDLE_WAIT: Duration = Duration::from_millis(200);
+
+fn scheduler_loop(shared: &Arc<ServiceShared>) {
+    loop {
+        let mut state = shared.state.lock();
+
+        // Sweep deadlines: cancel every expired query, queued or running.
+        let now = Instant::now();
+        let mut next_deadline: Option<Instant> = None;
+        state.timers.retain(|(deadline, weak)| {
+            let Some(q) = weak.upgrade() else {
+                return false;
+            };
+            if matches!(&*q.state.lock(), QueryState::Done(_)) {
+                return false;
+            }
+            if *deadline <= now {
+                q.deadline_fired.store(true, Ordering::Relaxed);
+                q.cancel.cancel();
+                return false;
+            }
+            next_deadline = Some(next_deadline.map_or(*deadline, |d| d.min(*deadline)));
+            true
+        });
+
+        // Drop queued queries that were cancelled (or deadline-expired)
+        // before launch.
+        let mut i = 0;
+        while i < state.queue.len() {
+            if state.queue[i].shared.cancel.is_cancelled() {
+                let q = state.queue.remove(i).unwrap();
+                let err = q.shared.map_error(Error::Cancelled);
+                q.shared.finish(Err(err));
+            } else {
+                i += 1;
+            }
+        }
+
+        // Reap drivers that have finished, so the handle list stays small
+        // on a long-running service.
+        let mut i = 0;
+        while i < state.drivers.len() {
+            if state.drivers[i].is_finished() {
+                let _ = state.drivers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+
+        if state.shutdown {
+            if state.running == 0 {
+                let drivers: Vec<_> = state.drivers.drain(..).collect();
+                drop(state);
+                for handle in drivers {
+                    let _ = handle.join();
+                }
+                return;
+            }
+            // Wait for running drivers to observe cancellation and finish.
+            shared.work.wait_for(&mut state, IDLE_WAIT);
+            continue;
+        }
+
+        // Admission: FIFO head, when a slot is free and the reservation
+        // succeeds. The reservation is attempted without holding the lock
+        // (it may evict, which does I/O).
+        let launch = if state.running < shared.config.max_concurrent {
+            state.queue.pop_front()
+        } else {
+            None
+        };
+        let Some(q) = launch else {
+            // Nothing admissible: sleep until notified or the next deadline.
+            wait_for_work(shared, &mut state, next_deadline, now);
+            continue;
+        };
+        drop(state);
+
+        let footprint = q.request.options.footprint.unwrap_or_else(|| {
+            // The plan validated at submission, so row-width derivation
+            // cannot fail here; 32 bytes is a safe floor regardless.
+            let row_width =
+                plan_row_width(&q.request.plan, &q.request.input.schema()).unwrap_or(32);
+            estimate_footprint(
+                &q.request.options.config,
+                shared.mgr.page_size(),
+                q.request.input.rows(),
+                row_width,
+            )
+        });
+        match shared.mgr.reserve(footprint) {
+            Ok(reservation) => {
+                // Count the query as running before its driver exists, so a
+                // driver that finishes instantly cannot underflow the count.
+                shared.state.lock().running += 1;
+                let driver = spawn_driver(shared, q, reservation);
+                shared.state.lock().drivers.push(driver);
+            }
+            Err(e) => {
+                let mut state = shared.state.lock();
+                if state.running == 0 {
+                    // No running query will ever release memory: this
+                    // footprint cannot be satisfied, fail it typed.
+                    drop(state);
+                    q.shared.finish(Err(e));
+                } else {
+                    // Headroom is low: put the query back at the front (it
+                    // keeps its FIFO position) and wait for a completion.
+                    state.queue.push_front(q);
+                    wait_for_work(shared, &mut state, next_deadline, now);
+                }
+            }
+        }
+    }
+}
+
+fn wait_for_work(
+    shared: &ServiceShared,
+    state: &mut parking_lot::MutexGuard<'_, SchedulerState>,
+    next_deadline: Option<Instant>,
+    now: Instant,
+) {
+    match next_deadline {
+        Some(d) => {
+            shared.work.wait_until(state, d.min(now + IDLE_WAIT));
+        }
+        None => {
+            shared.work.wait_for(state, IDLE_WAIT);
+        }
+    }
+}
+
+fn spawn_driver(
+    shared: &Arc<ServiceShared>,
+    q: QueuedQuery,
+    reservation: MemoryReservation,
+) -> JoinHandle<()> {
+    let service = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("rexa-query-{}", q.shared.id))
+        .spawn(move || {
+            let QueuedQuery {
+                shared: query,
+                request,
+            } = q;
+            let queued_for = query.submitted_at.elapsed();
+            *query.state.lock() = QueryState::Running;
+            let stats_before = service.mgr.stats();
+
+            // The reservation becomes the query's memory *grant*: the
+            // operator carves its unspillable allocations (hash-table entry
+            // arrays) out of it instead of charging the manager twice.
+            let grant = Arc::new(ReservationGrant::new(reservation));
+            let result = run_query(&service, &query, &request, Arc::clone(&grant))
+                .map(|(output, stats)| QueryOutput {
+                    output,
+                    stats,
+                    buffer: service.mgr.stats().delta_since(&stats_before),
+                    queued_for,
+                })
+                .map_err(|e| query.map_error(e));
+
+            // Release what is left of the grant before completing, so a
+            // waiting query observes the headroom as soon as it is notified.
+            drop(grant);
+            query.finish(result);
+            {
+                let mut state = service.state.lock();
+                state.running -= 1;
+            }
+            service.work.notify_all();
+        })
+        .expect("spawn query driver")
+}
+
+fn run_query(
+    service: &ServiceShared,
+    query: &QueryShared,
+    request: &QueryRequest,
+    grant: Arc<ReservationGrant>,
+) -> Result<(Option<ChunkCollection>, RunStats)> {
+    query.cancel.check()?;
+    let ctx = ExecContext::with_pool(Arc::clone(&service.pool))
+        .with_cancel(query.cancel.clone())
+        .with_grant(grant);
+    let schema = request.input.schema();
+    let collected: Mutex<Option<ChunkCollection>> = Mutex::new(match &request.options.consumer {
+        Some(_) => None,
+        None => Some(ChunkCollection::new(output_schema(&request.plan, &schema)?)),
+    });
+    let consumer = |chunk: DataChunk| -> Result<()> {
+        match &request.options.consumer {
+            Some(f) => f(chunk),
+            None => collected
+                .lock()
+                .as_mut()
+                .expect("collection present when no consumer is set")
+                .push(chunk),
+        }
+    };
+    let run = |source: &dyn ChunkSource| {
+        hash_aggregate_streaming_ctx(
+            &service.mgr,
+            source,
+            &schema,
+            &request.plan,
+            &request.options.config,
+            &ctx,
+            &consumer,
+        )
+    };
+    let stats = match &request.input {
+        QueryInput::Collection(coll) => {
+            let source = CollectionSource::with_cancel(coll, query.cancel.clone());
+            run(&source)?
+        }
+        QueryInput::Table(table) => {
+            let source = table.scan_with_cancel(&service.mgr, query.cancel.clone());
+            run(&source)?
+        }
+    };
+    Ok((collected.into_inner(), stats))
+}

@@ -220,7 +220,10 @@ mod tests {
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         ids.sort_unstable();
         assert_eq!(ids, (0..128).collect::<Vec<_>>());

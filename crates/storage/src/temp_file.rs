@@ -175,8 +175,7 @@ impl TempFileManager {
     /// Delete a spilled variable-size buffer without reading it.
     pub fn free_var(&self, id: VarId, size: usize) -> Result<()> {
         std::fs::remove_file(self.var_path(id))?;
-        self.bytes_on_disk
-            .fetch_sub(size as u64, Ordering::Relaxed);
+        self.bytes_on_disk.fetch_sub(size as u64, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -223,7 +222,9 @@ mod tests {
     #[test]
     fn variable_size_round_trip() {
         let t = fresh(128);
-        let data = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect::<Vec<_>>();
+        let data = (0..1000u32)
+            .flat_map(|i| i.to_le_bytes())
+            .collect::<Vec<_>>();
         let id = t.write_var(&data).unwrap();
         assert_eq!(t.bytes_on_disk(), data.len() as u64);
 

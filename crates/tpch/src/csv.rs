@@ -40,10 +40,7 @@ pub fn write_chunk_csv(chunk: &DataChunk, out: &mut impl Write) -> Result<u64> {
 /// Write an iterator of chunks (e.g. a [`crate::LineitemGenerator`]) to a
 /// CSV file; returns the total bytes written — the paper's dataset-size
 /// metric.
-pub fn write_csv(
-    chunks: impl Iterator<Item = DataChunk>,
-    path: &Path,
-) -> Result<u64> {
+pub fn write_csv(chunks: impl Iterator<Item = DataChunk>, path: &Path) -> Result<u64> {
     let mut out = BufWriter::new(std::fs::File::create(path)?);
     let mut total = 0u64;
     for chunk in chunks {
@@ -65,7 +62,9 @@ mod tests {
         chunk
             .push_row(&[Value::Int64(1), Value::Varchar("ab".into())])
             .unwrap();
-        chunk.push_row(&[Value::Null, Value::Varchar("c".into())]).unwrap();
+        chunk
+            .push_row(&[Value::Null, Value::Varchar("c".into())])
+            .unwrap();
         let mut buf = Vec::new();
         let bytes = write_chunk_csv(&chunk, &mut buf).unwrap();
         assert_eq!(buf, b"1|ab\n|c\n");

@@ -14,7 +14,7 @@ pub mod skew;
 
 pub use csv::write_csv;
 pub use groupings::{Grouping, GROUPINGS};
-pub use skew::{clustered_table, zipf_table, Zipf};
 pub use lineitem::{
     generate_lineitem, lineitem_schema, load_lineitem_table, LineitemColumn, LineitemGenerator,
 };
+pub use skew::{clustered_table, zipf_table, Zipf};

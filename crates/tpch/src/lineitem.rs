@@ -10,8 +10,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rexa_buffer::{BufferManager, Table};
 use rexa_buffer::table::TableBuilder;
+use rexa_buffer::{BufferManager, Table};
 use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Result, Vector, VECTOR_SIZE};
 use rexa_storage::DatabaseFile;
 use std::sync::Arc;
@@ -135,7 +135,10 @@ impl LineitemColumn {
 
 /// The 16-column lineitem schema.
 pub fn lineitem_schema() -> Vec<LogicalType> {
-    LineitemColumn::ALL.iter().map(|c| c.logical_type()).collect()
+    LineitemColumn::ALL
+        .iter()
+        .map(|c| c.logical_type())
+        .collect()
 }
 
 const SHIP_INSTRUCT: [&str; 4] = [
@@ -146,8 +149,22 @@ const SHIP_INSTRUCT: [&str; 4] = [
 ];
 const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const COMMENT_WORDS: [&str; 16] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages", "requests",
-    "accounts", "instructions", "foxes", "pinto", "beans", "ironic", "express", "regular",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "packages",
+    "requests",
+    "accounts",
+    "instructions",
+    "foxes",
+    "pinto",
+    "beans",
+    "ironic",
+    "express",
+    "regular",
 ];
 
 struct RowBatch {

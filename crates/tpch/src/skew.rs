@@ -59,8 +59,11 @@ pub fn zipf_table(rows: usize, keys: usize, s: f64, seed: u64) -> ChunkCollectio
         remaining -= n;
         let k: Vec<i64> = (0..n).map(|_| z.sample() as i64).collect();
         let v: Vec<i64> = k.iter().map(|&x| x * 3 + 1).collect();
-        coll.push(DataChunk::new(vec![Vector::from_i64(k), Vector::from_i64(v)]))
-            .unwrap();
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(k),
+            Vector::from_i64(v),
+        ]))
+        .unwrap();
     }
     coll
 }
@@ -88,8 +91,11 @@ pub fn clustered_table(rows: usize, run_len: usize, seed: u64) -> ChunkCollectio
             k.push(current_key);
         }
         let v: Vec<i64> = k.iter().map(|&x| x % 1000).collect();
-        coll.push(DataChunk::new(vec![Vector::from_i64(k), Vector::from_i64(v)]))
-            .unwrap();
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(k),
+            Vector::from_i64(v),
+        ]))
+        .unwrap();
     }
     coll
 }

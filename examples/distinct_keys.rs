@@ -10,11 +10,11 @@
 //! cargo run --release -p rexa-core --example distinct_keys
 //! ```
 
+use parking_lot::Mutex;
 use rexa_buffer::{BufferManager, BufferManagerConfig};
 use rexa_core::{hash_aggregate_streaming, AggregateConfig, AggregateSpec, HashAggregatePlan};
 use rexa_exec::pipeline::CollectionSource;
 use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Value, Vector, VECTOR_SIZE};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn main() -> rexa_exec::Result<()> {
@@ -26,7 +26,13 @@ fn main() -> rexa_exec::Result<()> {
     while k < rows {
         let n = (rows - k).min(VECTOR_SIZE as i64);
         let keys: Vec<i64> = (k..k + n)
-            .map(|i| if i % dup_every == 0 && i > 0 { i - 1 } else { i })
+            .map(|i| {
+                if i % dup_every == 0 && i > 0 {
+                    i - 1
+                } else {
+                    i
+                }
+            })
             .collect();
         input.push(DataChunk::new(vec![Vector::from_i64(keys)]))?;
         k += n;

@@ -48,7 +48,10 @@ fn main() -> rexa_exec::Result<()> {
         for i in 0..chunk.len() {
             let row = chunk.row(i);
             let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
-            println!("{:<12}{:>6}{:>6}{:>6}", cells[0], cells[1], cells[2], cells[3]);
+            println!(
+                "{:<12}{:>6}{:>6}{:>6}",
+                cells[0], cells[1], cells[2], cells[3]
+            );
         }
     }
     println!(

@@ -59,20 +59,18 @@ fn case_strategy() -> impl Strategy<Value = Case> {
     ]);
     (
         prop::collection::vec(type_pool, 1..4),
-        1usize..3,          // number of group columns
-        1i64..200,          // key domain size
-        0usize..3000,       // row count
-        1usize..5,          // threads
-        0u32..5,            // radix bits
-        64usize..4096,      // memory limit KiB
+        1usize..3,     // number of group columns
+        1i64..200,     // key domain size
+        0usize..3000,  // row count
+        1usize..5,     // threads
+        0u32..5,       // radix bits
+        64usize..4096, // memory limit KiB
     )
         .prop_flat_map(
             |(types, n_group, domain, n_rows, threads, radix_bits, limit_kib)| {
                 let group_cols: Vec<usize> = (0..n_group.min(types.len())).collect();
-                let row_strategy: Vec<BoxedStrategy<Value>> = types
-                    .iter()
-                    .map(|&t| value_strategy(t, domain))
-                    .collect();
+                let row_strategy: Vec<BoxedStrategy<Value>> =
+                    types.iter().map(|&t| value_strategy(t, domain)).collect();
                 (
                     prop::collection::vec(row_strategy, n_rows),
                     Just(types),
@@ -158,10 +156,7 @@ fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn robust_operator_matches_reference_model(case in case_strategy()) {

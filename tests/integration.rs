@@ -195,11 +195,13 @@ fn switch_baseline_on_persistent_table_restarts_cleanly() {
     // suppkey is far from unique at this scale: few suppliers).
     mgr.set_memory_limit(usize::MAX);
     let source = table.scan(&mgr);
-    let (_, robust) =
-        hash_aggregate_collect(&mgr, &source, &schema, &plan, &config(4, 4)).unwrap();
+    let (_, robust) = hash_aggregate_collect(&mgr, &source, &schema, &plan, &config(4, 4)).unwrap();
     assert_eq!(outcome.groups(), robust.groups);
     let emitted: usize = out.lock().iter().map(|c| c.len()).sum();
-    assert_eq!(emitted, robust.groups, "no partial output from the aborted attempt");
+    assert_eq!(
+        emitted, robust.groups,
+        "no partial output from the aborted attempt"
+    );
 }
 
 #[test]

@@ -110,7 +110,10 @@ fn basic_join_with_duplicates_both_sides() {
     .unwrap();
     // probe key 2 matches two build rows, twice => 4; key 1 matches once.
     assert_eq!(stats.output_rows, 5);
-    assert_eq!(sorted_output(&out), reference_join(&build, &probe, &[0], &[0]));
+    assert_eq!(
+        sorted_output(&out),
+        reference_join(&build, &probe, &[0], &[0])
+    );
 }
 
 #[test]
@@ -119,7 +122,9 @@ fn large_random_join_matches_reference() {
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(77);
     let build: Vec<(i64, i64)> = (0..800).map(|i| (rng.gen_range(0..300), i)).collect();
-    let probe: Vec<(i64, i64)> = (0..1200).map(|i| (rng.gen_range(0..300), i + 10_000)).collect();
+    let probe: Vec<(i64, i64)> = (0..1200)
+        .map(|i| (rng.gen_range(0..300), i + 10_000))
+        .collect();
     let build = i64_table(&build);
     let probe = i64_table(&probe);
     let m = mgr(64 << 20, 8 << 10);

@@ -1,0 +1,349 @@
+//! End-to-end tests of the concurrent query service: admission waiting
+//! under a memory limit sized for a single query, load shedding past the
+//! queue bound, cancellation mid-spill (temp files cleaned, no poisoned
+//! state), and deadline expiry.
+
+use rexa_buffer::{BufferManager, BufferManagerConfig, EvictionPolicy};
+use rexa_core::{plan_row_width, AggregateConfig, AggregateSpec, HashAggregatePlan};
+use rexa_exec::{ChunkCollection, DataChunk, Error, LogicalType, Vector, VECTOR_SIZE};
+use rexa_service::{
+    estimate_footprint, QueryInput, QueryOptions, QueryRequest, QueryService, ServiceConfig,
+};
+use rexa_storage::scratch_dir;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PAGE: usize = 4 << 10;
+
+fn mgr_with(limit: usize) -> Arc<BufferManager> {
+    BufferManager::new(
+        BufferManagerConfig::with_limit(limit)
+            .page_size(PAGE)
+            .policy(EvictionPolicy::Mixed)
+            .temp_dir(scratch_dir("svc").unwrap()),
+    )
+    .unwrap()
+}
+
+/// High-cardinality input: `groups` distinct keys over `rows` rows.
+fn make_input(rows: usize, groups: usize) -> Arc<ChunkCollection> {
+    let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+    let mut produced = 0usize;
+    while produced < rows {
+        let n = (rows - produced).min(VECTOR_SIZE);
+        let keys: Vec<i64> = (0..n).map(|i| ((produced + i) % groups) as i64).collect();
+        let vals: Vec<i64> = keys.iter().map(|k| k * 3).collect();
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(keys),
+            Vector::from_i64(vals),
+        ]))
+        .unwrap();
+        produced += n;
+    }
+    Arc::new(coll)
+}
+
+fn grouping_config() -> AggregateConfig {
+    AggregateConfig {
+        threads: 2,
+        radix_bits: Some(3),
+        ht_capacity: 4 * VECTOR_SIZE,
+        output_chunk_size: VECTOR_SIZE,
+        reset_fill_percent: 66,
+    }
+}
+
+fn grouping_plan() -> HashAggregatePlan {
+    HashAggregatePlan {
+        group_cols: vec![0],
+        aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+    }
+}
+
+/// The same footprint the scheduler derives for [`grouping_request`].
+fn grouping_footprint(rows: usize) -> usize {
+    let width =
+        plan_row_width(&grouping_plan(), &[LogicalType::Int64, LogicalType::Int64]).unwrap();
+    estimate_footprint(&grouping_config(), PAGE, rows, width)
+}
+
+fn grouping_request(input: &Arc<ChunkCollection>) -> QueryRequest {
+    QueryRequest {
+        plan: grouping_plan(),
+        input: QueryInput::Collection(Arc::clone(input)),
+        options: QueryOptions {
+            config: grouping_config(),
+            ..Default::default()
+        },
+    }
+}
+
+/// The acceptance scenario: a memory limit sized for ONE query's footprint,
+/// four concurrently submitted high-cardinality grouping queries. All four
+/// must complete with correct results — no OOM abort, no deadlock — because
+/// admission makes the excess queries wait for reservations.
+#[test]
+fn four_concurrent_queries_under_single_query_limit() {
+    let rows = 80_000;
+    let footprint = grouping_footprint(rows);
+    // Room for one admitted query plus working slack, but not for two
+    // reservations — admission must serialize the queries.
+    let mgr = mgr_with(footprint + footprint / 2);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 4,
+            max_concurrent: 4,
+            queue_bound: 16,
+        },
+    );
+    let input = make_input(rows, rows); // all-distinct: heavy spilling
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| service.submit(grouping_request(&input)).unwrap())
+        .collect();
+    let mut waited = 0usize;
+    for h in handles {
+        let out = h.wait().expect("query must complete");
+        let coll = out.output.expect("collected output");
+        assert_eq!(out.stats.groups, rows);
+        assert_eq!(coll.rows(), rows);
+        if out.queued_for > Duration::from_millis(1) {
+            waited += 1;
+        }
+    }
+    // With the limit sized for one query, at least one of the four had to
+    // wait for admission.
+    assert!(waited >= 1, "expected some queries to wait for admission");
+    // Nothing leaks after all queries complete.
+    let s = service.buffer_manager().stats();
+    assert_eq!(s.non_paged, 0, "reservations must be released: {s:?}");
+    assert_eq!(
+        s.temp_bytes_on_disk, 0,
+        "spill files must be cleaned: {s:?}"
+    );
+}
+
+/// Submissions past the admission-queue bound are shed with the typed
+/// [`Error::Overloaded`] — they never enqueue, and queries already accepted
+/// still finish.
+#[test]
+fn submit_past_bound_is_shed_with_typed_error() {
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 1,
+            queue_bound: 2,
+        },
+    );
+    let input = make_input(60_000, 60_000);
+
+    // Fill the single run slot and the two queue slots. The queue check
+    // races with the scheduler draining it, so submit until the queue
+    // reports full, then expect the shed.
+    let mut accepted = Vec::new();
+    let mut shed = None;
+    for _ in 0..32 {
+        match service.submit(grouping_request(&input)) {
+            Ok(h) => accepted.push(h),
+            Err(e) => {
+                shed = Some(e);
+                break;
+            }
+        }
+    }
+    let err = shed.expect("some submission must be shed");
+    match err {
+        Error::Overloaded { queued, bound } => {
+            assert_eq!(bound, 2);
+            assert!(queued >= 2, "shed while {queued} queued");
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+    for h in accepted {
+        h.wait().expect("accepted queries still complete");
+    }
+}
+
+/// Cancelling a query mid-spill releases its temp files and leaves the
+/// service healthy: a subsequent query over the same manager succeeds.
+#[test]
+fn cancel_mid_spill_cleans_up_and_service_survives() {
+    let footprint = grouping_footprint(200_000);
+    let mgr = mgr_with(footprint + footprint / 4); // tight: the query must spill
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 2,
+            queue_bound: 8,
+        },
+    );
+    let input = make_input(200_000, 200_000);
+
+    // Stream through a consumer that cancels once output starts flowing —
+    // by then phase 1 has spilled and phase 2 is mid-flight.
+    let seen = Arc::new(AtomicUsize::new(0));
+    let handle = {
+        let seen = Arc::clone(&seen);
+        let mut request = grouping_request(&input);
+        request.options.consumer = Some(Arc::new(move |c: DataChunk| {
+            seen.fetch_add(c.len(), Ordering::Relaxed);
+            Ok(())
+        }));
+        service.submit(request).unwrap()
+    };
+    while seen.load(Ordering::Relaxed) == 0 && !handle.is_done() {
+        std::thread::yield_now();
+    }
+    handle.cancel();
+    match handle.wait() {
+        Err(Error::Cancelled) => {}
+        Ok(out) => {
+            // The cancel can race query completion; a finished query is fine
+            // as long as it is correct.
+            assert_eq!(out.stats.groups, 200_000);
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+
+    // No pins, reservations, or spill files may survive the cancellation.
+    let s = service.buffer_manager().stats();
+    assert_eq!(s.non_paged, 0, "leaked reservation: {s:?}");
+    assert_eq!(s.temp_bytes_on_disk, 0, "leaked spill file: {s:?}");
+
+    // The service is not poisoned: the same query, uncancelled, completes.
+    let out = service
+        .submit(grouping_request(&make_input(30_000, 30_000)))
+        .unwrap()
+        .wait()
+        .expect("follow-up query must succeed");
+    assert_eq!(out.stats.groups, 30_000);
+}
+
+/// A query whose deadline expires fails with `DeadlineExceeded` (distinct
+/// from plain `Cancelled`) whether it was queued or already running.
+#[test]
+fn deadline_expiry_is_typed() {
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 1,
+            queue_bound: 8,
+        },
+    );
+    let input = make_input(400_000, 400_000);
+
+    // An effectively-instant deadline: whether it fires while queued or
+    // running, the error must be typed.
+    let mut request = grouping_request(&input);
+    request.options.deadline = Some(Duration::from_millis(1));
+    let handle = service.submit(request).unwrap();
+    match handle.wait() {
+        Err(Error::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // A generous deadline does not fire.
+    let mut request = grouping_request(&make_input(10_000, 100));
+    request.options.deadline = Some(Duration::from_secs(300));
+    let out = service.submit(request).unwrap().wait().unwrap();
+    assert_eq!(out.stats.groups, 100);
+}
+
+/// User cancellation of a queued query fails it without launching.
+#[test]
+fn cancel_while_queued_never_launches() {
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 1,
+            queue_bound: 8,
+        },
+    );
+    // Occupy the only slot with a long query.
+    let blocker = service
+        .submit(grouping_request(&make_input(400_000, 400_000)))
+        .unwrap();
+    // Queue a second and cancel it before it can launch.
+    let queued = service
+        .submit(grouping_request(&make_input(10_000, 100)))
+        .unwrap();
+    queued.cancel();
+    match queued.wait() {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    blocker.cancel();
+    let _ = blocker.wait();
+}
+
+/// An invalid plan is rejected at submission, before queueing.
+#[test]
+fn invalid_plan_rejected_at_submit() {
+    let mgr = mgr_with(16 << 20);
+    let service = QueryService::with_defaults(mgr);
+    let input = make_input(100, 10);
+    let request = QueryRequest {
+        plan: HashAggregatePlan {
+            group_cols: vec![9], // out of range
+            aggregates: vec![AggregateSpec::count_star()],
+        },
+        input: QueryInput::Collection(input),
+        options: QueryOptions::default(),
+    };
+    assert!(matches!(
+        service.submit(request),
+        Err(Error::InvalidInput(_))
+    ));
+}
+
+/// A footprint larger than the whole memory limit fails typed (OOM), not by
+/// waiting forever.
+#[test]
+fn impossible_footprint_fails_typed() {
+    let mgr = mgr_with(8 << 20);
+    let service = QueryService::with_defaults(mgr);
+    let mut request = grouping_request(&make_input(1_000, 100));
+    request.options.footprint = Some(1 << 30); // 1 GiB against an 8 MiB limit
+    let handle = service.submit(request).unwrap();
+    match handle.wait() {
+        Err(e) if e.is_oom() => {}
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+/// Service results match a direct single-query run.
+#[test]
+fn service_results_are_correct() {
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::with_defaults(mgr);
+    let input = make_input(50_000, 1_000);
+    let out = service
+        .submit(grouping_request(&input))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let coll = out.output.unwrap();
+    assert_eq!(out.stats.groups, 1_000);
+    assert_eq!(coll.rows(), 1_000);
+    assert_eq!(out.stats.rows_in, 50_000);
+
+    // Spot-check one group: key 0 appears rows/groups times, sum = 0.
+    let mut count0 = None;
+    for chunk in coll.chunks() {
+        for i in 0..chunk.len() {
+            if chunk.column(0).i64s()[i] == 0 {
+                count0 = Some(chunk.column(1).i64s()[i]);
+            }
+        }
+    }
+    assert_eq!(count0, Some(50)); // 50_000 / 1_000
+}

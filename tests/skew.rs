@@ -44,8 +44,7 @@ fn zipf_heavy_hitters_are_exact() {
             hash_aggregate_collect(&m, &source, coll.types(), &plan, &config()).unwrap();
         let source = CollectionSource::new(&coll);
         let want =
-            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates)
-                .unwrap();
+            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates).unwrap();
         assert_eq!(sorted_rows(out.chunks()), want, "s={s}");
         assert_eq!(stats.groups, want.len());
     }
@@ -88,8 +87,7 @@ fn clustered_keys_are_exact_and_cheap() {
     };
     let m = mgr(64 << 20);
     let source = CollectionSource::new(&coll);
-    let (out, stats) =
-        hash_aggregate_collect(&m, &source, coll.types(), &plan, &config()).unwrap();
+    let (out, stats) = hash_aggregate_collect(&m, &source, coll.types(), &plan, &config()).unwrap();
     let source = CollectionSource::new(&coll);
     let want =
         reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates).unwrap();
@@ -110,8 +108,7 @@ fn skewed_partitions_stay_balanced() {
     };
     let m = mgr(256 << 20);
     let source = CollectionSource::new(&coll);
-    let (out, stats) =
-        hash_aggregate_collect(&m, &source, coll.types(), &plan, &config()).unwrap();
+    let (out, stats) = hash_aggregate_collect(&m, &source, coll.types(), &plan, &config()).unwrap();
     // Count output rows per radix partition by recomputing each group's
     // radix from its key hash.
     let mut per_partition = vec![0usize; stats.partitions];
@@ -138,8 +135,7 @@ fn zipf_under_memory_pressure_spills_and_stays_exact() {
     };
     let m = mgr(3 << 20);
     let source = CollectionSource::new(&coll);
-    let (out, stats) =
-        hash_aggregate_collect(&m, &source, coll.types(), &plan, &config()).unwrap();
+    let (out, stats) = hash_aggregate_collect(&m, &source, coll.types(), &plan, &config()).unwrap();
     assert!(stats.buffer.temp_bytes_written > 0, "{:?}", stats.buffer);
     let source = CollectionSource::new(&coll);
     let want =

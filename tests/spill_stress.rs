@@ -113,8 +113,7 @@ fn concurrent_queries_share_one_pool() {
     for (i, (coll, got)) in inputs.iter().zip(&results).enumerate() {
         let source = CollectionSource::new(coll);
         let want =
-            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates)
-                .unwrap();
+            reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates).unwrap();
         assert_eq!(got, &want, "query {i}");
     }
     assert_eq!(mgr.stats().temporary_resident, 0);
@@ -180,8 +179,7 @@ fn many_small_queries_do_not_fragment_accounting() {
         )]))
         .unwrap();
         let source = CollectionSource::new(&coll);
-        let (out, _) =
-            hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+        let (out, _) = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
         assert_eq!(out.rows() as i64, i + 1);
     }
     assert_eq!(mgr.memory_used(), 0, "all memory returned");
@@ -196,9 +194,7 @@ fn oversized_strings_spill_to_variable_pages() {
     let mut chunk = DataChunk::empty(coll.types());
     for i in 0..40 {
         let s = format!("{i:04}-").repeat(2000); // ~10 KiB each, > page
-        chunk
-            .push_row(&[rexa_exec::Value::Varchar(s)])
-            .unwrap();
+        chunk.push_row(&[rexa_exec::Value::Varchar(s)]).unwrap();
     }
     coll.push(chunk).unwrap();
 
@@ -216,18 +212,12 @@ fn oversized_strings_spill_to_variable_pages() {
     };
     let results = Mutex::new(Vec::<DataChunk>::new());
     let source = CollectionSource::new(&coll);
-    let stats = rexa_core::hash_aggregate_streaming(
-        &mgr,
-        &source,
-        coll.types(),
-        &plan,
-        &config,
-        &|c| {
+    let stats =
+        rexa_core::hash_aggregate_streaming(&mgr, &source, coll.types(), &plan, &config, &|c| {
             results.lock().push(c);
             Ok(())
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     assert_eq!(stats.groups, 40);
     let out = results.into_inner();
     let total: usize = out.iter().map(|c| c.len()).sum();

@@ -1,0 +1,254 @@
+//! Offline stand-in for the subset of the `criterion` API that rexa's
+//! benches use. It runs each benchmark a small fixed number of timed
+//! iterations and prints mean wall time — enough to smoke-test the bench
+//! targets and get ballpark numbers without the real crate's statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timed iterations per measurement (the real crate collects full samples).
+const MEASURE_ITERS: u64 = 5;
+
+/// The top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one("", &id.into(), &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stand-in has a fixed iteration
+    /// count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (throughput is not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        run_one(&self.name, &id.into_benchmark_id(), &mut f);
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id);
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Measured throughput declaration (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark id, optionally parameterized.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms `bench_function` accepts.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Batch sizing for [`Bencher::iter_batched`].
+pub enum BatchSize {
+    /// A small per-batch input (the stand-in uses a fixed batch).
+    SmallInput,
+    /// A large per-batch input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+    /// An explicit iteration count per batch.
+    NumIterations(u64),
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up, then timed iterations.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += MEASURE_ITERS;
+    }
+
+    /// Time `routine` over batches of fresh inputs from `setup`; outputs are
+    /// dropped after timing, as in the real crate.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        size: BatchSize,
+    ) {
+        let batch = match size {
+            BatchSize::SmallInput | BatchSize::LargeInput | BatchSize::PerIteration => 64,
+            BatchSize::NumIterations(n) => n.max(1),
+        };
+        black_box(routine(setup()));
+        for _ in 0..MEASURE_ITERS {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let mut outputs = Vec::with_capacity(batch as usize);
+            let start = Instant::now();
+            for input in inputs {
+                outputs.push(black_box(routine(input)));
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+            drop(outputs);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if self.iters == 0 {
+            eprintln!("  {label}: no iterations");
+        } else {
+            let mean = self.elapsed / self.iters as u32;
+            eprintln!("  {label}: mean {mean:?} over {} iters", self.iters);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, f: &mut F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    b.report(group, id);
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The bench-target entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        let mut count = 0u64;
+        g.bench_function("counting", |b| b.iter(|| count += 1));
+        assert!(count > MEASURE_ITERS);
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &p| {
+            b.iter(|| black_box(p * 2))
+        });
+        g.finish();
+    }
+}

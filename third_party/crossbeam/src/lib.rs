@@ -1,0 +1,103 @@
+//! Offline stand-in for the subset of `crossbeam` that rexa uses: the
+//! unbounded MPMC [`queue::SegQueue`]. Implemented with a mutex-protected
+//! `VecDeque`; the real crate's lock-free segment queue is a drop-in
+//! replacement when the registry is available.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+    use std::sync::PoisonError;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Create an empty queue.
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push an element to the back.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        /// Pop the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// True if the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            q.push(3);
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), Some(3));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn concurrent_push_pop() {
+            use std::sync::Arc;
+            let q = Arc::new(SegQueue::new());
+            let producers: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..100 {
+                            q.push(t * 100 + i);
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut seen = Vec::new();
+            while let Some(v) = q.pop() {
+                seen.push(v);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..400).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! Offline stand-in for the subset of the `proptest` API that rexa's
+//! property tests use: strategies (ranges, tuples, vectors, `Just`, maps,
+//! flat-maps, one-of, sampling, simple `[a-z]{m,n}`-style string patterns),
+//! the `proptest!` runner macro, and the `prop_assert*` family.
+//!
+//! Differences from the real crate, acceptable for this repo's tests:
+//! * no shrinking — a failing case prints its full `Debug` input instead;
+//! * assertions panic rather than returning `TestCaseError`;
+//! * string strategies support only the character-class + repetition
+//!   patterns the tests actually use.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// The generator handed to strategies by the [`proptest!`] runner.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-test rng (seeded from the test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn gen_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    fn gen_usize(&mut self, bound: usize) -> usize {
+        if bound <= 1 {
+            0
+        } else {
+            self.0.gen_range(0..bound)
+        }
+    }
+}
+
+/// Runner configuration; only the knobs the tests set are modeled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Panic payload used by [`prop_assume!`] to reject (skip) a case.
+#[derive(Debug)]
+pub struct Rejected;
+
+/// A source of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then a dependent strategy from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe sampling, used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + rand::HasPredecessor + Copy + Debug,
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// Uniform strings matching a `[chars]{m,n}`-style pattern (the only regex
+/// forms the tests use; anything else panics with a clear message).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut alphabet: Vec<char> = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        alphabet.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        alphabet.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // skip ']'
+            }
+            c if c.is_ascii_alphanumeric() || c == ' ' || c == '_' => {
+                alphabet.push(c);
+                i += 1;
+            }
+            other => panic!("unsupported pattern atom {other:?} in {pattern:?}"),
+        }
+        // Optional {n} / {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = (i..chars.len())
+                .find(|&j| chars[j] == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad repetition"),
+                    n.trim().parse::<usize>().expect("bad repetition"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.gen_usize(hi - lo + 1);
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_usize(alphabet.len())]);
+        }
+    }
+    out
+}
+
+/// Heterogeneous per-element strategies: one `Vec<V>` with `self.len()`
+/// elements, element `i` drawn from strategy `i`.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized + Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A weighted choice between boxed alternatives (built by [`prop_oneof!`]).
+pub struct OneOf<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u32,
+}
+
+impl<V: Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.gen_usize(self.total as usize) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Build a [`OneOf`] from weighted boxed arms (used by [`prop_oneof!`]).
+pub fn oneof<V: Debug>(arms: Vec<(u32, BoxedStrategy<V>)>) -> OneOf<V> {
+    let total = arms.iter().map(|(w, _)| *w).sum();
+    assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+    OneOf { arms, total }
+}
+
+/// `prop::collection`, `prop::sample` — the paths the tests import.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Element counts accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.gen_usize(self.end - self.start)
+        }
+    }
+
+    /// A homogeneous vector strategy: `size` draws from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Box<dyn SizeRange>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: Box::new(size),
+        }
+    }
+}
+
+/// Random selection helpers.
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// An arbitrary index, resolved against a length with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This index modulo `len` (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty domain");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.gen_u64())
+        }
+    }
+
+    /// A strategy drawing uniformly from a fixed set of values.
+    pub struct Select<T: Clone + Debug>(Vec<T>);
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_usize(self.0.len())].clone()
+        }
+    }
+
+    /// Uniform choice from `values`.
+    pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select over empty set");
+        Select(values)
+    }
+}
+
+/// The glob import the tests use: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` module path (`prop::collection::vec`, `prop::sample::…`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Reject (skip) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::Rejected);
+        }
+    };
+}
+
+/// Assert inside a property (panics with the formatted message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::oneof(vec![$(($weight, $crate::Strategy::boxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::oneof(vec![$((1u32, $crate::Strategy::boxed($strategy))),+])
+    };
+}
+
+/// The property-test runner macro. Each test draws its arguments from the
+/// given strategies `config.cases` times; a failing case prints its inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(
+                    &($config),
+                    stringify!($name),
+                    |rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
+                        let inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}\n"),+),
+                            $(&$arg),+
+                        );
+                        (inputs, move || { $body })
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),+) $body)*
+        }
+    };
+}
+
+/// Drives one property test: repeatedly draws a case and runs it, skipping
+/// [`prop_assume!`] rejections; on failure re-panics after printing inputs.
+pub fn run_proptest<F, B>(config: &ProptestConfig, name: &str, mut make_case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, B),
+    B: FnOnce(),
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).saturating_add(100);
+    while passed < config.cases && attempts < max_attempts {
+        attempts += 1;
+        let (inputs, body) = make_case(&mut rng);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+            Ok(()) => passed += 1,
+            Err(payload) if payload.downcast_ref::<Rejected>().is_some() => continue,
+            Err(payload) => {
+                eprintln!(
+                    "proptest {name}: case {} (attempt {attempts}) failed with inputs:\n{inputs}",
+                    passed + 1
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strings_match_shape() {
+        let mut rng = crate::TestRng::from_name("pattern");
+        for _ in 0..200 {
+            let s = crate::sample_pattern("[a-z]{0,12}", &mut rng);
+            assert!(s.len() <= 12 && s.chars().all(|c| c.is_ascii_lowercase()));
+            let s = crate::sample_pattern("[a-z]{13}", &mut rng);
+            assert_eq!(s.len(), 13);
+            let s = crate::sample_pattern("[a-c]", &mut rng);
+            assert!(matches!(s.as_str(), "a" | "b" | "c"));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected() {
+        let mut rng = crate::TestRng::from_name("weights");
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| s.sample(&mut rng)).count();
+        assert!(trues > 800, "trues={trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vectors(xs in prop::collection::vec(0usize..10, 1..20), y in 5i64..8) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!((5..8).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(v in 0usize..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (1usize..5).prop_flat_map(|n| {
+            (prop::collection::vec(0usize..10, n), Just(n))
+        })) {
+            let (xs, n) = pair;
+            prop_assert_eq!(xs.len(), n);
+        }
+    }
+}
