@@ -71,6 +71,12 @@ unsafe impl Sync for JobCore {}
 
 impl JobCore {
     /// Claim and execute units until the counter is exhausted.
+    ///
+    /// A panicking unit is converted to [`Error::Internal`], matching the
+    /// scoped-thread fallback ([`run_scoped`](crate::pipeline)): the panic
+    /// must not unwind out of here, because the completion decrement below
+    /// is what lets `run` release the closure — skipping it would leave
+    /// `run` deadlocked and other claimants dereferencing a freed closure.
     fn run_units(&self) {
         loop {
             let unit = self.next_unit.fetch_add(1, Ordering::Relaxed);
@@ -79,7 +85,10 @@ impl JobCore {
             }
             // SAFETY: the claim above succeeded, so `run` is still blocked
             // waiting for this unit and the closure is alive (see JobCore).
-            let result = unsafe { (*self.work)() };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (*self.work)()
+            }))
+            .unwrap_or_else(|_| Err(Error::Internal("worker thread panicked".into())));
             if let Err(e) = result {
                 let mut slot = self.first_err.lock();
                 match &*slot {
@@ -94,6 +103,28 @@ impl JobCore {
                 self.done.notify_all();
             }
         }
+    }
+
+    /// Block until every unit has completed.
+    fn wait_done(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+/// Blocks in `Drop` until the job's units are all complete. `run` holds one
+/// of these across everything it does after publishing helper tickets, so
+/// even if it unwinds (nothing in `run` should panic, but the closure
+/// dereferences make the cost of being wrong a use-after-free), the stack
+/// frame holding the work closure cannot be popped while a helper might
+/// still dereference it.
+struct WaitDoneGuard<'a>(&'a JobCore);
+
+impl Drop for WaitDoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait_done();
     }
 }
 
@@ -135,7 +166,8 @@ impl WorkerPool {
             return Ok(());
         }
         if units == 1 {
-            return work();
+            return std::panic::catch_unwind(std::panic::AssertUnwindSafe(work))
+                .unwrap_or_else(|_| Err(Error::Internal("worker thread panicked".into())));
         }
         // SAFETY: lifetime erasure only; the pointer is stored raw and the
         // JobCore invariant (dereference only between claim and completion,
@@ -153,6 +185,10 @@ impl WorkerPool {
         // at the pool size: each ticket drains the counter, so more tickets
         // than workers buys nothing.
         let helpers = (units - 1).min(self.threads);
+        // Once a ticket is published the closure may be dereferenced by
+        // helpers; the guard keeps this frame alive until every unit
+        // completes even if an unexpected unwind tries to pop it early.
+        let guard = WaitDoneGuard(&job);
         {
             let mut queue = self.shared.queue.lock();
             for _ in 0..helpers {
@@ -163,13 +199,10 @@ impl WorkerPool {
             self.shared.work_ready.notify_one();
         }
         // The caller works on its own job: progress is guaranteed even when
-        // every pool worker is busy elsewhere.
+        // every pool worker is busy elsewhere. Panicking units are caught
+        // inside `run_units` and surfaced as `Error::Internal`.
         job.run_units();
-        let mut remaining = job.remaining.lock();
-        while *remaining > 0 {
-            job.done.wait(&mut remaining);
-        }
-        drop(remaining);
+        drop(guard); // blocks until all units (including helpers') are done
         let first_err = job.first_err.lock().take();
         match first_err {
             Some(e) => Err(e),
@@ -343,6 +376,35 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn panicking_units_surface_as_error_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        // Multi-unit job: panics on helper workers and on the submitting
+        // thread must all be caught, every unit accounted for (no deadlock,
+        // no use-after-free), and the pool must stay usable afterwards.
+        let n = AtomicUsize::new(0);
+        let err = pool
+            .run(8, &|| {
+                if n.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                    panic!("unit panic");
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Internal(_)));
+        // Single-unit fast path panics are converted the same way.
+        let err = pool.run(1, &|| panic!("single unit panic")).unwrap_err();
+        assert!(matches!(err, Error::Internal(_)));
+        // All workers are still alive and serving jobs.
+        let counter = AtomicUsize::new(0);
+        pool.run(8, &|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -280,6 +280,9 @@ struct SchedulerState {
     shutdown: bool,
     /// Deadlines of queued and running queries, swept by the scheduler.
     timers: Vec<(Instant, Weak<QueryShared>)>,
+    /// Every query not yet observed finished, deadline or not, so shutdown
+    /// can cancel all of them (not just the deadline-bearing ones).
+    live: Vec<Weak<QueryShared>>,
     /// Finished or running driver threads awaiting a join.
     drivers: Vec<JoinHandle<()>>,
 }
@@ -309,6 +312,7 @@ impl QueryService {
                 running: 0,
                 shutdown: false,
                 timers: Vec::new(),
+                live: Vec::new(),
                 drivers: Vec::new(),
             }),
             work: Condvar::new(),
@@ -371,6 +375,7 @@ impl QueryService {
         if let Some(deadline) = shared.deadline {
             state.timers.push((deadline, Arc::downgrade(&shared)));
         }
+        state.live.push(Arc::downgrade(&shared));
         state.queue.push_back(QueuedQuery {
             shared: Arc::clone(&shared),
             request,
@@ -396,12 +401,14 @@ impl Drop for QueryService {
         {
             let mut state = self.shared.state.lock();
             state.shutdown = true;
-            // Fail everything still queued; running queries are cancelled
-            // and the scheduler joins their drivers before exiting.
+            // Fail everything still queued; running queries — with or
+            // without a deadline — are cancelled, and the scheduler joins
+            // their drivers before exiting.
             for q in state.queue.drain(..) {
                 q.shared.finish(Err(Error::Cancelled));
             }
-            for (_, weak) in state.timers.drain(..) {
+            state.timers.clear();
+            for weak in state.live.drain(..) {
                 if let Some(q) = weak.upgrade() {
                     q.cancel.cancel();
                 }
@@ -439,6 +446,10 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
             }
             next_deadline = Some(next_deadline.map_or(*deadline, |d| d.min(*deadline)));
             true
+        });
+        state.live.retain(|weak| {
+            weak.upgrade()
+                .is_some_and(|q| !matches!(&*q.state.lock(), QueryState::Done(_)))
         });
 
         // Drop queued queries that were cancelled (or deadline-expired)
@@ -482,12 +493,12 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
         // Admission: FIFO head, when a slot is free and the reservation
         // succeeds. The reservation is attempted without holding the lock
         // (it may evict, which does I/O).
-        let launch = if state.running < shared.config.max_concurrent {
+        let admitted = if state.running < shared.config.max_concurrent {
             state.queue.pop_front()
         } else {
             None
         };
-        let Some(q) = launch else {
+        let Some(q) = admitted else {
             // Nothing admissible: sleep until notified or the next deadline.
             wait_for_work(shared, &mut state, next_deadline, now);
             continue;
@@ -507,20 +518,21 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
             )
         });
         match shared.mgr.reserve(footprint) {
-            Ok(reservation) => {
-                // Count the query as running before its driver exists, so a
-                // driver that finishes instantly cannot underflow the count.
-                shared.state.lock().running += 1;
-                let driver = spawn_driver(shared, q, reservation);
-                shared.state.lock().drivers.push(driver);
-            }
-            Err(e) => {
+            Ok(reservation) => launch(shared, q, reservation),
+            Err(_) => {
                 let mut state = shared.state.lock();
                 if state.running == 0 {
-                    // No running query will ever release memory: this
-                    // footprint cannot be satisfied, fail it typed.
+                    // A query that completed between the failed reserve and
+                    // this lock released its reservation without us seeing
+                    // it; drivers drop their grant *before* decrementing
+                    // `running`, so with the count at zero a retry observes
+                    // every release. Only if it fails again is the
+                    // footprint genuinely unsatisfiable.
                     drop(state);
-                    q.shared.finish(Err(e));
+                    match shared.mgr.reserve(footprint) {
+                        Ok(reservation) => launch(shared, q, reservation),
+                        Err(e) => q.shared.finish(Err(e)),
+                    }
                 } else {
                     // Headroom is low: put the query back at the front (it
                     // keeps its FIFO position) and wait for a completion.
@@ -530,6 +542,15 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
             }
         }
     }
+}
+
+/// Count a reserved query as running and hand it to a fresh driver thread.
+fn launch(shared: &Arc<ServiceShared>, q: QueuedQuery, reservation: MemoryReservation) {
+    // Count the query as running before its driver exists, so a driver that
+    // finishes instantly cannot underflow the count.
+    shared.state.lock().running += 1;
+    let driver = spawn_driver(shared, q, reservation);
+    shared.state.lock().drivers.push(driver);
 }
 
 fn wait_for_work(

@@ -320,6 +320,62 @@ fn impossible_footprint_fails_typed() {
     }
 }
 
+/// Back-to-back queries whose footprints each claim nearly the whole limit
+/// must all complete: every admission races the previous completion's
+/// release, and a reserve that fails in that window must be retried once
+/// the completion is observed — never failed as a spurious OOM.
+#[test]
+fn full_limit_footprints_never_spuriously_oom() {
+    let mgr = mgr_with(32 << 20);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 4,
+            queue_bound: 64,
+        },
+    );
+    let input = make_input(5_000, 500);
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            let mut request = grouping_request(&input);
+            request.options.footprint = Some(30 << 20); // ~whole limit each
+            service.submit(request).unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("satisfiable footprint must not OOM");
+    }
+}
+
+/// Dropping the service cancels running queries even when they carry no
+/// deadline; shutdown must not block until a long query completes
+/// naturally.
+#[test]
+fn drop_cancels_running_queries_without_deadlines() {
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 1,
+            queue_bound: 8,
+        },
+    );
+    // A long all-distinct query, deliberately without a deadline.
+    let handle = service
+        .submit(grouping_request(&make_input(2_000_000, 2_000_000)))
+        .unwrap();
+    while service.running() == 0 && !handle.is_done() {
+        std::thread::yield_now();
+    }
+    drop(service); // must cancel the running query, not wait it out
+    match handle.wait() {
+        Err(Error::Cancelled) => {}
+        other => panic!("expected Cancelled on shutdown, got {other:?}"),
+    }
+}
+
 /// Service results match a direct single-query run.
 #[test]
 fn service_results_are_correct() {
