@@ -6,10 +6,11 @@ use crate::raw::RawBuffer;
 use crate::stats::BufferStats;
 use parking_lot::Mutex;
 use rexa_exec::{Error, Result};
-use rexa_storage::{BlockId, DatabaseFile, TempFileManager, DEFAULT_PAGE_SIZE};
+use rexa_storage::{BlockId, DatabaseFile, IoBackend, StdIo, TempFileManager, DEFAULT_PAGE_SIZE};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// Configuration of a [`BufferManager`].
 #[derive(Debug, Clone)]
@@ -24,6 +25,19 @@ pub struct BufferManagerConfig {
     pub policy: EvictionPolicy,
     /// Directory for temporary spill files.
     pub temp_dir: PathBuf,
+    /// The I/O backend temp spill files are written through (default:
+    /// [`StdIo`]). Chaos tests install a
+    /// [`FaultInjector`](rexa_storage::FaultInjector) here.
+    pub io_backend: Arc<dyn IoBackend>,
+    /// How many times a *transient* spill-write error (interrupted /
+    /// would-block / timed-out) is retried with exponential backoff before
+    /// the spill is abandoned with
+    /// [`Error::SpillFailed`](rexa_exec::Error::SpillFailed). Fatal errors
+    /// (`ENOSPC`, device errors) are never retried. Default: 3.
+    pub spill_retries: u32,
+    /// Backoff before the first spill retry; doubles per retry (capped at
+    /// 8×). Default: 1 ms.
+    pub spill_backoff: Duration,
 }
 
 impl BufferManagerConfig {
@@ -35,6 +49,9 @@ impl BufferManagerConfig {
             page_size: DEFAULT_PAGE_SIZE,
             policy: EvictionPolicy::Mixed,
             temp_dir: rexa_storage::scratch_dir("spill").expect("cannot create temp dir"),
+            io_backend: Arc::new(StdIo),
+            spill_retries: 3,
+            spill_backoff: Duration::from_millis(1),
         }
     }
 
@@ -55,6 +72,24 @@ impl BufferManagerConfig {
         self.temp_dir = dir;
         self
     }
+
+    /// Builder-style override of the I/O backend.
+    pub fn io_backend(mut self, backend: Arc<dyn IoBackend>) -> Self {
+        self.io_backend = backend;
+        self
+    }
+
+    /// Builder-style override of the transient-spill retry budget.
+    pub fn spill_retries(mut self, retries: u32) -> Self {
+        self.spill_retries = retries;
+        self
+    }
+
+    /// Builder-style override of the initial spill-retry backoff.
+    pub fn spill_backoff(mut self, backoff: Duration) -> Self {
+        self.spill_backoff = backoff;
+        self
+    }
 }
 
 #[derive(Debug, Default)]
@@ -63,6 +98,8 @@ struct Counters {
     evictions_temporary: AtomicU64,
     buffer_reuses: AtomicU64,
     allocations: AtomicU64,
+    spill_retries: AtomicU64,
+    spill_failures: AtomicU64,
 }
 
 /// The unified buffer manager (paper Section III): a single memory pool and
@@ -78,6 +115,8 @@ pub struct BufferManager {
     temp: TempFileManager,
     queues: EvictionQueues,
     counters: Counters,
+    spill_retries: u32,
+    spill_backoff: Duration,
     /// Serializes eviction scans so concurrent reservations do not race each
     /// other through the queue and over-evict.
     evict_lock: Mutex<()>,
@@ -96,7 +135,8 @@ impl BufferManager {
     /// Create a buffer manager.
     pub fn new(config: BufferManagerConfig) -> Result<Arc<Self>> {
         assert!(config.page_size >= 64, "page size too small");
-        let temp = TempFileManager::new(config.temp_dir, config.page_size)?;
+        let temp =
+            TempFileManager::with_backend(config.temp_dir, config.page_size, config.io_backend)?;
         Ok(Arc::new_cyclic(|weak| BufferManager {
             memory_limit: AtomicUsize::new(config.memory_limit),
             page_size: config.page_size,
@@ -107,6 +147,8 @@ impl BufferManager {
             temp,
             queues: EvictionQueues::new(config.policy),
             counters: Counters::default(),
+            spill_retries: config.spill_retries,
+            spill_backoff: config.spill_backoff,
             evict_lock: Mutex::new(()),
             weak_self: weak.clone(),
         }))
@@ -174,7 +216,16 @@ impl BufferManager {
             evictions_temporary: self.counters.evictions_temporary.load(Ordering::Relaxed),
             buffer_reuses: self.counters.buffer_reuses.load(Ordering::Relaxed),
             allocations: self.counters.allocations.load(Ordering::Relaxed),
+            spill_retries: self.counters.spill_retries.load(Ordering::Relaxed),
+            spill_failures: self.counters.spill_failures.load(Ordering::Relaxed),
         }
+    }
+
+    /// Temp-file slots currently holding live spilled pages. Zero when
+    /// nothing is spilled; the chaos tests assert this returns to its
+    /// pre-query baseline after every fault-failed query.
+    pub fn temp_slots_in_use(&self) -> u64 {
+        self.temp.slots_in_use()
     }
 
     // ---- reservation & eviction ------------------------------------------
@@ -240,9 +291,55 @@ impl BufferManager {
         debug_assert!(prev >= size, "memory accounting underflow");
     }
 
+    /// True for I/O errors worth retrying: the operation may succeed if
+    /// simply re-issued (signal interruption, saturated device queue).
+    /// `ENOSPC` and real device errors are fatal — retrying cannot help.
+    fn is_transient(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Run a spill write, retrying transient I/O errors up to the configured
+    /// budget with exponential backoff. A fatal error — or a transient one
+    /// that outlives the budget — is wrapped in the typed
+    /// [`Error::SpillFailed`] so callers can tell "the disk rejected the
+    /// spill" apart from plain read I/O failures.
+    fn spill_with_retry<T>(&self, bytes: usize, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut retries = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(Error::Io(e)) if retries < self.spill_retries && Self::is_transient(&e) => {
+                    self.counters.spill_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.spill_backoff * (1u32 << retries.min(3)));
+                    retries += 1;
+                }
+                Err(Error::Io(e)) => {
+                    self.counters.spill_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::SpillFailed {
+                        source: e,
+                        bytes,
+                        retries,
+                    });
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
     /// Evict one block: pop queue entries until a valid, unpinned, loaded
     /// candidate is found; spill it if temporary; return its buffer with the
     /// bytes still accounted. `Ok(None)` means nothing is evictable.
+    ///
+    /// A failed spill degrades gracefully: the candidate stays loaded, is
+    /// re-enqueued (so it becomes evictable again once the fault clears or
+    /// disk space frees up), and the error propagates to whichever
+    /// reservation needed the memory — that query fails; the manager and
+    /// every other block stay consistent.
     fn evict_one(&self) -> Result<Option<RawBuffer>> {
         while let Some(QueueEntry { block, seq }) = self.queues.pop() {
             let Some(handle) = block.upgrade() else {
@@ -262,38 +359,49 @@ impl BufferManager {
                 continue; // already evicted
             };
             // Spill temporaries before releasing the buffer.
-            let loc = match handle.tag {
+            let spilled = match handle.tag {
                 BufferTag::Persistent => {
                     // Free: the page is already in the database file.
-                    self.counters
-                        .evictions_persistent
-                        .fetch_add(1, Ordering::Relaxed);
-                    let id = handle
+                    handle
                         .persistent_id()
-                        .ok_or_else(|| Error::Internal("persistent block without id".into()))?;
-                    DiskLocation::Database(id)
+                        .ok_or_else(|| Error::Internal("persistent block without id".into()))
+                        .map(DiskLocation::Database)
                 }
                 BufferTag::TempFixed => {
                     let Residency::Loaded(buf) = &*state else {
                         unreachable!()
                     };
                     // SAFETY: unpinned and state-locked: no concurrent writer.
-                    let slot = self.temp.write_slot(unsafe { buf.slice() })?;
-                    self.counters
-                        .evictions_temporary
-                        .fetch_add(1, Ordering::Relaxed);
-                    DiskLocation::TempSlot(slot)
+                    self.spill_with_retry(buf.len(), || {
+                        self.temp.write_slot(unsafe { buf.slice() })
+                    })
+                    .map(DiskLocation::TempSlot)
                 }
                 BufferTag::TempVariable => {
                     let Residency::Loaded(buf) = &*state else {
                         unreachable!()
                     };
                     // SAFETY: as above.
-                    let var = self.temp.write_var(unsafe { buf.slice() })?;
-                    self.counters
-                        .evictions_temporary
-                        .fetch_add(1, Ordering::Relaxed);
-                    DiskLocation::TempVar(var)
+                    self.spill_with_retry(buf.len(), || self.temp.write_var(unsafe { buf.slice() }))
+                        .map(DiskLocation::TempVar)
+                }
+            };
+            let loc = match spilled {
+                Ok(loc) => {
+                    let counter = if handle.tag.is_temporary() {
+                        &self.counters.evictions_temporary
+                    } else {
+                        &self.counters.evictions_persistent
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    loc
+                }
+                Err(e) => {
+                    // The block keeps its buffer; make it evictable again
+                    // and report the failure to the starved reservation.
+                    drop(state);
+                    self.queue_for_eviction(&handle);
+                    return Err(e);
                 }
             };
             let old = std::mem::replace(&mut *state, Residency::OnDisk(loc));
@@ -912,6 +1020,116 @@ mod tests {
         assert!(th.is_loaded(), "temporary should stay");
         // No temp I/O happened.
         assert_eq!(mgr.stats().temp_bytes_written, 0);
+    }
+
+    fn faulty_mgr(
+        limit_pages: usize,
+        injector: &Arc<rexa_storage::FaultInjector>,
+    ) -> Arc<BufferManager> {
+        BufferManager::new(
+            BufferManagerConfig::with_limit(limit_pages * PAGE)
+                .page_size(PAGE)
+                .temp_dir(scratch_dir("mgrfault").unwrap())
+                .io_backend(Arc::clone(injector) as Arc<dyn IoBackend>)
+                .spill_backoff(Duration::from_micros(100)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fatal_spill_error_is_typed_and_block_survives() {
+        use rexa_storage::{FaultInjector, FaultKind, FaultRule, IoOp, Schedule};
+        let inj = Arc::new(FaultInjector::new(1).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Always,
+            FaultKind::Enospc,
+        )));
+        inj.set_enabled(false);
+        let mgr = faulty_mgr(1, &inj);
+        let (h1, p1) = mgr.allocate_page().unwrap();
+        fill(&p1, 0x5A);
+        drop(p1);
+        inj.set_enabled(true);
+        // The second allocation needs to evict h1, whose spill hits ENOSPC.
+        let err = mgr.allocate_page().unwrap_err();
+        match &err {
+            Error::SpillFailed {
+                source,
+                bytes,
+                retries,
+            } => {
+                assert_eq!(source.raw_os_error(), Some(28));
+                assert_eq!(*bytes, PAGE);
+                assert_eq!(*retries, 0, "ENOSPC is fatal, never retried");
+            }
+            other => panic!("expected SpillFailed, got {other}"),
+        }
+        let stats = mgr.stats();
+        assert_eq!(stats.spill_failures, 1);
+        assert_eq!(stats.spill_retries, 0);
+        // The victim kept its buffer and its contents; accounting intact.
+        assert!(h1.is_loaded());
+        assert_eq!(mgr.memory_used(), PAGE);
+        assert_eq!(mgr.temp_slots_in_use(), 0, "failed spill leaks no slot");
+        // Once the "disk" recovers, the same block spills fine (it was
+        // re-enqueued on failure).
+        inj.set_enabled(false);
+        let (_h2, p2) = mgr.allocate_page().unwrap();
+        assert!(!h1.is_loaded(), "h1 evicted after recovery");
+        drop(p2);
+        check(&mgr.pin(&h1).unwrap(), 0x5A);
+    }
+
+    #[test]
+    fn transient_spill_error_is_retried_and_succeeds() {
+        use rexa_storage::{FaultInjector, FaultKind, FaultRule, IoOp, Schedule};
+        // Write op 0 fails transiently; the retry (op 1) goes through.
+        let inj = Arc::new(FaultInjector::new(2).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Nth(0),
+            FaultKind::Transient,
+        )));
+        let mgr = faulty_mgr(1, &inj);
+        let (h1, p1) = mgr.allocate_page().unwrap();
+        fill(&p1, 0x3C);
+        drop(p1);
+        let (_h2, _p2) = mgr.allocate_page().unwrap(); // evicts h1, with retry
+        assert!(!h1.is_loaded());
+        let stats = mgr.stats();
+        assert_eq!(stats.spill_retries, 1);
+        assert_eq!(stats.spill_failures, 0);
+        assert_eq!(stats.evictions_temporary, 1);
+        drop(_p2);
+        check(&mgr.pin(&h1).unwrap(), 0x3C);
+    }
+
+    #[test]
+    fn transient_errors_past_budget_become_spill_failed() {
+        use rexa_storage::{FaultInjector, FaultKind, FaultRule, IoOp, Schedule};
+        let inj = Arc::new(FaultInjector::new(3).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Always,
+            FaultKind::Transient,
+        )));
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(PAGE)
+                .page_size(PAGE)
+                .temp_dir(scratch_dir("mgrfault").unwrap())
+                .io_backend(inj as Arc<dyn IoBackend>)
+                .spill_retries(2)
+                .spill_backoff(Duration::from_micros(100)),
+        )
+        .unwrap();
+        let (_h1, p1) = mgr.allocate_page().unwrap();
+        drop(p1);
+        let err = mgr.allocate_page().unwrap_err();
+        match err {
+            Error::SpillFailed { retries, .. } => assert_eq!(retries, 2),
+            other => panic!("expected SpillFailed, got {other}"),
+        }
+        let stats = mgr.stats();
+        assert_eq!(stats.spill_retries, 2);
+        assert_eq!(stats.spill_failures, 1);
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub struct BufferStats {
     pub buffer_reuses: u64,
     /// Number of page/variable allocations served.
     pub allocations: u64,
+    /// Number of transient spill-write errors that were retried with
+    /// backoff (each retry counts once; a spill that eventually succeeds
+    /// still leaves its retries here).
+    pub spill_retries: u64,
+    /// Number of spills abandoned after exhausting retries (each one
+    /// surfaced as an [`Error::SpillFailed`](rexa_exec::Error::SpillFailed)
+    /// to the query that needed the memory).
+    pub spill_failures: u64,
 }
 
 impl BufferStats {
@@ -51,6 +59,8 @@ impl BufferStats {
             evictions_temporary: self.evictions_temporary - earlier.evictions_temporary,
             buffer_reuses: self.buffer_reuses - earlier.buffer_reuses,
             allocations: self.allocations - earlier.allocations,
+            spill_retries: self.spill_retries - earlier.spill_retries,
+            spill_failures: self.spill_failures - earlier.spill_failures,
         }
     }
 }
@@ -64,17 +74,22 @@ mod tests {
         let before = BufferStats {
             temp_bytes_written: 100,
             evictions_temporary: 3,
+            spill_retries: 2,
             ..Default::default()
         };
         let after = BufferStats {
             memory_used: 77,
             temp_bytes_written: 160,
             evictions_temporary: 5,
+            spill_retries: 6,
+            spill_failures: 1,
             ..Default::default()
         };
         let d = after.delta_since(&before);
         assert_eq!(d.temp_bytes_written, 60);
         assert_eq!(d.evictions_temporary, 2);
         assert_eq!(d.memory_used, 77);
+        assert_eq!(d.spill_retries, 4);
+        assert_eq!(d.spill_failures, 1);
     }
 }

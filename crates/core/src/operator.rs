@@ -708,6 +708,57 @@ mod tests {
     }
 
     #[test]
+    fn spill_failure_aborts_cleanly_and_releases_everything() {
+        use rexa_storage::{FaultInjector, FaultKind, FaultRule, IoBackend, IoOp, Schedule};
+        // Same geometry as `spills_under_tight_memory_and_stays_correct`,
+        // but every spill write hits ENOSPC: the run must abort with the
+        // typed error, release every pin / reservation / temp slot, and
+        // leave the manager fit for an immediate fault-free rerun.
+        let coll = make_input(60_000, 60_000, 5);
+        let injector = Arc::new(FaultInjector::new(9).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Always,
+            FaultKind::Enospc,
+        )));
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(coll.approx_bytes() / 2)
+                .page_size(4 << 10)
+                .policy(EvictionPolicy::Mixed)
+                .temp_dir(scratch_dir("aggfault").unwrap())
+                .io_backend(Arc::clone(&injector) as Arc<dyn IoBackend>),
+        )
+        .unwrap();
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        let config = AggregateConfig {
+            threads: 4,
+            radix_bits: Some(5),
+            ht_capacity: 4 * VECTOR_SIZE,
+            output_chunk_size: VECTOR_SIZE,
+            reset_fill_percent: 66,
+        };
+        let source = CollectionSource::new(&coll);
+        let err = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config)
+            .expect_err("a spilling run cannot succeed with all spill writes failing");
+        assert!(
+            matches!(err, rexa_exec::Error::SpillFailed { .. }),
+            "expected SpillFailed, got {err}"
+        );
+        let s = mgr.stats();
+        assert_eq!(s.temporary_resident, 0, "leaked pages: {s:?}");
+        assert_eq!(s.non_paged, 0, "leaked reservation: {s:?}");
+        assert_eq!(s.temp_bytes_on_disk, 0, "leaked spill bytes: {s:?}");
+        assert_eq!(mgr.temp_slots_in_use(), 0, "leaked temp slot");
+        assert!(s.spill_failures > 0, "{s:?}");
+        // Disk recovers; the identical run on the same manager is correct.
+        injector.set_enabled(false);
+        let stats = check_against_reference(&coll, &plan, &config, &mgr);
+        assert!(stats.buffer.evictions_temporary > 0, "{:?}", stats.buffer);
+    }
+
+    #[test]
     fn string_group_keys() {
         let coll = make_input(30_000, 300, 3);
         let mgr = mgr_with(64 << 20, 64 << 10);

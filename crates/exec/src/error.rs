@@ -23,6 +23,19 @@ pub enum Error {
     },
     /// An I/O error from the database file or a temporary spill file.
     Io(std::io::Error),
+    /// A spill write failed even after the buffer manager's bounded
+    /// retry-with-backoff: the eviction path could not move a temporary
+    /// page to disk (disk full, device error, …). The failing query is
+    /// aborted cleanly — pins, reservations, and temp-file slots released —
+    /// while the shared buffer manager stays usable for other queries.
+    SpillFailed {
+        /// The underlying I/O error from the final attempt.
+        source: std::io::Error,
+        /// Size of the buffer that could not be spilled.
+        bytes: usize,
+        /// Transient-error retries performed before giving up.
+        retries: u32,
+    },
     /// The query was cancelled, e.g. by the benchmark harness timeout
     /// (the paper times queries out after 10 minutes; 'T' cells).
     Cancelled,
@@ -54,6 +67,13 @@ impl Error {
     pub fn is_oom(&self) -> bool {
         matches!(self, Error::OutOfMemory { .. })
     }
+
+    /// True for errors rooted in storage I/O — a raw [`Error::Io`] or a
+    /// spill failure wrapping one. The chaos suite accepts exactly these
+    /// (plus OOM) as legal outcomes of a fault-injected run.
+    pub fn is_io(&self) -> bool {
+        matches!(self, Error::Io(_) | Error::SpillFailed { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -69,6 +89,14 @@ impl fmt::Display for Error {
                  and nothing left to evict"
             ),
             Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::SpillFailed {
+                source,
+                bytes,
+                retries,
+            } => write!(
+                f,
+                "spill of {bytes} bytes failed after {retries} retries: {source}"
+            ),
             Error::Cancelled => write!(f, "query cancelled"),
             Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
             Error::Overloaded { queued, bound } => write!(
@@ -86,6 +114,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::SpillFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -126,6 +155,21 @@ mod tests {
     #[test]
     fn cancelled_is_not_oom() {
         assert!(!Error::Cancelled.is_oom());
+    }
+
+    #[test]
+    fn spill_failed_carries_context() {
+        let e = Error::SpillFailed {
+            source: std::io::Error::from_raw_os_error(28),
+            bytes: 4096,
+            retries: 3,
+        };
+        assert!(e.is_io());
+        assert!(!e.is_oom());
+        let s = e.to_string();
+        assert!(s.contains("4096"), "{s}");
+        assert!(s.contains("3 retries"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

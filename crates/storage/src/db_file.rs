@@ -5,12 +5,13 @@
 //! rewrites pages fully), so a resident copy of a persistent page can always
 //! be dropped without any write-back.
 
+use crate::io_backend::{IoBackend, StdIo};
 use parking_lot::Mutex;
 use rexa_exec::{Error, Result};
 use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a page in the database file (0-based page index).
 pub type BlockId = u64;
@@ -27,6 +28,7 @@ const MAGIC: &[u8; 8] = b"REXADB01";
 pub struct DatabaseFile {
     file: File,
     page_size: usize,
+    backend: Arc<dyn IoBackend>,
     /// Number of pages written so far.
     blocks: AtomicU64,
     /// Serializes appends (allocation of the next block id + write).
@@ -36,16 +38,23 @@ pub struct DatabaseFile {
 impl DatabaseFile {
     /// Create a fresh database file at `path` (truncating any existing one).
     pub fn create(path: &Path, page_size: usize) -> Result<Self> {
+        Self::create_with_backend(path, page_size, Arc::new(StdIo))
+    }
+
+    /// Like [`create`](Self::create) with a custom [`IoBackend`].
+    pub fn create_with_backend(
+        path: &Path,
+        page_size: usize,
+        backend: Arc<dyn IoBackend>,
+    ) -> Result<Self> {
         assert!(page_size >= 64, "page size too small");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut opts = OpenOptions::new();
+        opts.read(true).write(true).create(true).truncate(true);
+        let file = backend.open(&opts, path)?;
         let db = DatabaseFile {
             file,
             page_size,
+            backend,
             blocks: AtomicU64::new(0),
             append_lock: Mutex::new(()),
         };
@@ -55,9 +64,16 @@ impl DatabaseFile {
 
     /// Open an existing database file.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_with_backend(path, Arc::new(StdIo))
+    }
+
+    /// Like [`open`](Self::open) with a custom [`IoBackend`].
+    pub fn open_with_backend(path: &Path, backend: Arc<dyn IoBackend>) -> Result<Self> {
+        let mut opts = OpenOptions::new();
+        opts.read(true).write(true);
+        let file = backend.open(&opts, path)?;
         let mut header = [0u8; HEADER_SIZE as usize];
-        file.read_exact_at(&mut header, 0)?;
+        backend.read_at(&file, &mut header, 0)?;
         if &header[0..8] != MAGIC {
             return Err(Error::InvalidInput(format!(
                 "{} is not a rexa database file",
@@ -69,6 +85,7 @@ impl DatabaseFile {
         Ok(DatabaseFile {
             file,
             page_size,
+            backend,
             blocks: AtomicU64::new(blocks),
             append_lock: Mutex::new(()),
         })
@@ -79,7 +96,7 @@ impl DatabaseFile {
         header[0..8].copy_from_slice(MAGIC);
         header[8..16].copy_from_slice(&(self.page_size as u64).to_le_bytes());
         header[16..24].copy_from_slice(&self.blocks.load(Ordering::Relaxed).to_le_bytes());
-        self.file.write_all_at(&header, 0)?;
+        self.backend.write_at(&self.file, &header, 0)?;
         Ok(())
     }
 
@@ -106,9 +123,16 @@ impl DatabaseFile {
         let _guard = self.append_lock.lock();
         let id = self.blocks.load(Ordering::Relaxed);
         let offset = HEADER_SIZE + id * self.page_size as u64;
-        self.file.write_all_at(data, offset)?;
+        // A failed page write leaves `blocks` untouched: the partial page
+        // past the recorded end is unreachable garbage, and the next append
+        // overwrites it. A failed header write rolls the count back so the
+        // in-memory view never claims a page the header does not.
+        self.backend.write_at(&self.file, data, offset)?;
         self.blocks.store(id + 1, Ordering::Relaxed);
-        self.write_header()?;
+        if let Err(e) = self.write_header() {
+            self.blocks.store(id, Ordering::Relaxed);
+            return Err(e);
+        }
         Ok(id)
     }
 
@@ -128,7 +152,7 @@ impl DatabaseFile {
             )));
         }
         let offset = HEADER_SIZE + id * self.page_size as u64;
-        self.file.read_exact_at(buf, offset)?;
+        self.backend.read_at(&self.file, buf, offset)?;
         Ok(())
     }
 
@@ -203,6 +227,30 @@ mod tests {
         let path = dir.join("junk.db");
         std::fs::write(&path, vec![0u8; 4096]).unwrap();
         assert!(DatabaseFile::open(&path).is_err());
+    }
+
+    #[test]
+    fn failed_append_does_not_grow_the_file() {
+        use crate::io_backend::{FaultInjector, FaultKind, FaultRule, IoOp, Schedule};
+        let dir = scratch_dir("dbfault").unwrap();
+        let path = dir.join("f.db");
+        // Write op 0 is the create-time header; fail op 2 (the second
+        // append's page write).
+        let inj = Arc::new(FaultInjector::new(21).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Nth(3),
+            FaultKind::Enospc,
+        )));
+        let db = DatabaseFile::create_with_backend(&path, 256, inj).unwrap();
+        db.append_block(&[1u8; 256]).unwrap(); // write ops 1 (page) + 2 (header)
+        let err = db.append_block(&[2u8; 256]).unwrap_err(); // op 3 fails
+        assert!(matches!(err, Error::Io(_)));
+        assert_eq!(db.block_count(), 1, "failed append must not be counted");
+        // The next append reuses the id and succeeds.
+        assert_eq!(db.append_block(&[3u8; 256]).unwrap(), 1);
+        let mut buf = [0u8; 256];
+        db.read_block(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 3));
     }
 
     #[test]

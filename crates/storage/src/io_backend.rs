@@ -1,0 +1,431 @@
+//! Pluggable I/O backend: the seam between the storage layer and the
+//! operating system.
+//!
+//! Every byte [`DatabaseFile`](crate::DatabaseFile) and
+//! [`TempFileManager`](crate::TempFileManager) move to or from disk goes
+//! through an [`IoBackend`]. Production uses [`StdIo`] (plain positioned
+//! syscalls); tests swap in a [`FaultInjector`] that deterministically
+//! injects `ENOSPC`, generic I/O errors, torn writes, and latency according
+//! to a seeded schedule — which is what makes the chaos suite in
+//! `tests/chaos.rs` writable at all. The paper's robustness claim is about
+//! degrading gracefully when intermediates exceed memory; the spill path is
+//! therefore on the critical path of *correctness*, and this seam is how we
+//! prove its failure behaviour instead of assuming it.
+
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The kind of an I/O operation, for fault-rule matching and accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Opening (or creating) a file.
+    Open,
+    /// A positioned read.
+    Read,
+    /// A positioned write (this is the spill path).
+    Write,
+    /// Deleting a file.
+    Remove,
+}
+
+impl IoOp {
+    fn index(self) -> usize {
+        match self {
+            IoOp::Open => 0,
+            IoOp::Read => 1,
+            IoOp::Write => 2,
+            IoOp::Remove => 3,
+        }
+    }
+}
+
+/// The raw file operations the storage layer needs. Implementations must be
+/// safe to call from many threads at once (positioned I/O carries no cursor).
+pub trait IoBackend: Send + Sync + std::fmt::Debug {
+    /// Open a file with the given options.
+    fn open(&self, opts: &OpenOptions, path: &Path) -> io::Result<File>;
+
+    /// Read exactly `buf.len()` bytes at `offset`.
+    fn read_at(&self, file: &File, buf: &mut [u8], offset: u64) -> io::Result<()>;
+
+    /// Write all of `data` at `offset`.
+    fn write_at(&self, file: &File, data: &[u8], offset: u64) -> io::Result<()>;
+
+    /// Delete a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production backend: plain positioned syscalls, nothing else.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl IoBackend for StdIo {
+    fn open(&self, opts: &OpenOptions, path: &Path) -> io::Result<File> {
+        opts.open(path)
+    }
+
+    fn read_at(&self, file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        file.read_exact_at(buf, offset)
+    }
+
+    fn write_at(&self, file: &File, data: &[u8], offset: u64) -> io::Result<()> {
+        file.write_all_at(data, offset)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+/// What an armed fault does to the matched operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with `ENOSPC` ("no space left on device") — the canonical
+    /// disk-full spill failure. Fatal: never retried.
+    Enospc,
+    /// Fail with a generic I/O error. Fatal: never retried.
+    Generic,
+    /// Fail with `EINTR`-style [`io::ErrorKind::Interrupted`] — a transient
+    /// error the buffer manager's spill path retries with backoff.
+    Transient,
+    /// Write only the first half of the buffer, then fail. Models a torn
+    /// write on power loss or a short `write(2)` the caller mishandles.
+    /// Only meaningful on [`IoOp::Write`]; other operations just fail.
+    TornWrite,
+    /// Sleep this long, then perform the operation normally. Models a slow
+    /// or contended device; combine with a deadline to test cancellation.
+    Latency(Duration),
+}
+
+/// When a rule fires, counted per [`IoOp`] kind (each kind has its own
+/// 0-based operation counter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Every matched operation.
+    Always,
+    /// Only the `n`-th matched operation (0-based).
+    Nth(u64),
+    /// Every matched operation from the `n`-th on (0-based).
+    After(u64),
+    /// Every `n`-th matched operation (`n >= 1`; fires on 0, n, 2n, …).
+    EveryNth(u64),
+    /// Each matched operation independently with probability `p`, drawn
+    /// from the injector's seeded RNG (deterministic per seed).
+    Probability(f64),
+}
+
+/// One injection rule: which operations, when, and what fault.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Operation kind to match; `None` matches every kind.
+    pub op: Option<IoOp>,
+    /// When the rule fires.
+    pub schedule: Schedule,
+    /// The fault to inject when it does.
+    pub fault: FaultKind,
+}
+
+impl FaultRule {
+    /// A rule matching one operation kind.
+    pub fn on(op: IoOp, schedule: Schedule, fault: FaultKind) -> Self {
+        FaultRule {
+            op: Some(op),
+            schedule,
+            fault,
+        }
+    }
+
+    /// A rule matching every operation kind.
+    pub fn on_any(schedule: Schedule, fault: FaultKind) -> Self {
+        FaultRule {
+            op: None,
+            schedule,
+            fault,
+        }
+    }
+}
+
+/// `splitmix64`: tiny, seedable, and good enough for fault scheduling.
+/// Kept private to this crate so `rexa-storage` needs no RNG dependency.
+#[derive(Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A deterministic fault-injecting [`IoBackend`] wrapper.
+///
+/// Rules are evaluated in order against each operation; latency rules sleep
+/// and evaluation continues, while the first error-producing rule that fires
+/// decides the operation's fate. Scheduling is deterministic for a given
+/// seed and operation sequence: `Nth`/`After`/`EveryNth` count operations
+/// per kind, and `Probability` draws from a seeded RNG.
+///
+/// The injector can be shared (`Arc`) between the system under test and the
+/// test itself, which can flip it on and off around the phase it wants to
+/// perturb ([`set_enabled`](FaultInjector::set_enabled)) and read how many
+/// faults actually fired ([`injected`](FaultInjector::injected)).
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: StdIo,
+    rules: Vec<FaultRule>,
+    rng: Mutex<SplitMix64>,
+    /// Operations seen so far, by [`IoOp::index`].
+    ops: [AtomicU64; 4],
+    /// Error faults injected (latency sleeps are counted separately).
+    injected: AtomicU64,
+    /// Latency faults applied.
+    delayed: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl FaultInjector {
+    /// An injector with no rules (add them with [`rule`](Self::rule)).
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            inner: StdIo,
+            rules: Vec::new(),
+            rng: Mutex::new(SplitMix64(seed ^ 0xD6E8_FEB8_6659_FD93)),
+            ops: Default::default(),
+            injected: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Builder-style: append a rule.
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Enable or disable injection at runtime (operations pass straight
+    /// through while disabled, and are not counted).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Error faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Latency faults applied so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Operations of this kind seen while enabled.
+    pub fn ops_seen(&self, op: IoOp) -> u64 {
+        self.ops[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// Decide what happens to the next operation of kind `op`:
+    /// `Some(fault)` for the first error fault that fires (after applying
+    /// any latency faults), `None` to let the operation through.
+    fn arm(&self, op: IoOp) -> Option<FaultKind> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let n = self.ops[op.index()].fetch_add(1, Ordering::Relaxed);
+        for rule in &self.rules {
+            if rule.op.is_some_and(|o| o != op) {
+                continue;
+            }
+            let fires = match rule.schedule {
+                Schedule::Always => true,
+                Schedule::Nth(k) => n == k,
+                Schedule::After(k) => n >= k,
+                Schedule::EveryNth(k) => k > 0 && n.is_multiple_of(k),
+                Schedule::Probability(p) => self.rng.lock().next_f64() < p,
+            };
+            if !fires {
+                continue;
+            }
+            if let FaultKind::Latency(d) = rule.fault {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                continue; // latency delays; later rules may still fail it
+            }
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(rule.fault);
+        }
+        None
+    }
+
+    fn error_for(kind: FaultKind) -> io::Error {
+        match kind {
+            // 28 == ENOSPC on Linux; maps to ErrorKind::StorageFull.
+            FaultKind::Enospc => io::Error::from_raw_os_error(28),
+            FaultKind::Transient => io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient I/O error (fault injection)",
+            ),
+            FaultKind::TornWrite => io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected torn write (fault injection)",
+            ),
+            FaultKind::Generic | FaultKind::Latency(_) => {
+                io::Error::other("injected I/O error (fault injection)")
+            }
+        }
+    }
+}
+
+impl IoBackend for FaultInjector {
+    fn open(&self, opts: &OpenOptions, path: &Path) -> io::Result<File> {
+        match self.arm(IoOp::Open) {
+            Some(kind) => Err(Self::error_for(kind)),
+            None => self.inner.open(opts, path),
+        }
+    }
+
+    fn read_at(&self, file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        match self.arm(IoOp::Read) {
+            Some(kind) => Err(Self::error_for(kind)),
+            None => self.inner.read_at(file, buf, offset),
+        }
+    }
+
+    fn write_at(&self, file: &File, data: &[u8], offset: u64) -> io::Result<()> {
+        match self.arm(IoOp::Write) {
+            Some(FaultKind::TornWrite) => {
+                // Persist a prefix, then fail: the caller must treat the
+                // destination as garbage and must not account the bytes.
+                let half = data.len() / 2;
+                let _ = self.inner.write_at(file, &data[..half], offset);
+                Err(Self::error_for(FaultKind::TornWrite))
+            }
+            Some(kind) => Err(Self::error_for(kind)),
+            None => self.inner.write_at(file, data, offset),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.arm(IoOp::Remove) {
+            Some(kind) => Err(Self::error_for(kind)),
+            None => self.inner.remove(path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn nth_schedule_fires_once_per_kind() {
+        let inj = FaultInjector::new(7).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Nth(1),
+            FaultKind::Enospc,
+        ));
+        assert_eq!(inj.arm(IoOp::Write), None); // op 0
+        assert_eq!(inj.arm(IoOp::Read), None); // reads unmatched
+        assert_eq!(inj.arm(IoOp::Write), Some(FaultKind::Enospc)); // op 1
+        assert_eq!(inj.arm(IoOp::Write), None); // op 2
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(inj.ops_seen(IoOp::Write), 3);
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::new(seed).rule(FaultRule::on(
+                IoOp::Write,
+                Schedule::Probability(0.5),
+                FaultKind::Generic,
+            ));
+            (0..64).map(|_| inj.arm(IoOp::Write).is_some()).collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), run(43), "different seeds differ");
+        let fired = run(42).iter().filter(|&&b| b).count();
+        assert!((16..=48).contains(&fired), "p=0.5 fired {fired}/64");
+    }
+
+    #[test]
+    fn disabled_injector_passes_through_uncounted() {
+        let inj =
+            FaultInjector::new(1).rule(FaultRule::on_any(Schedule::Always, FaultKind::Enospc));
+        inj.set_enabled(false);
+        assert_eq!(inj.arm(IoOp::Write), None);
+        assert_eq!(inj.ops_seen(IoOp::Write), 0);
+        inj.set_enabled(true);
+        assert_eq!(inj.arm(IoOp::Write), Some(FaultKind::Enospc));
+    }
+
+    #[test]
+    fn enospc_maps_to_storage_full() {
+        let e = FaultInjector::error_for(FaultKind::Enospc);
+        assert_eq!(e.raw_os_error(), Some(28));
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_fails() {
+        let dir = crate::scratch_dir("torn").unwrap();
+        let path = dir.join("t.bin");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        let inj: Arc<dyn IoBackend> = Arc::new(FaultInjector::new(3).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Nth(0),
+            FaultKind::TornWrite,
+        )));
+        let err = inj.write_at(&file, &[0xAB; 64], 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        // Half the data landed; the rest did not.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 32);
+        // The next write goes through untouched.
+        inj.write_at(&file, &[0xCD; 64], 0).unwrap();
+        let mut buf = [0u8; 64];
+        inj.read_at(&file, &mut buf, 0).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xCD));
+    }
+
+    #[test]
+    fn latency_delays_but_succeeds() {
+        let dir = crate::scratch_dir("lat").unwrap();
+        let path = dir.join("l.bin");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        let inj = FaultInjector::new(9).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Always,
+            FaultKind::Latency(Duration::from_millis(5)),
+        ));
+        let t0 = std::time::Instant::now();
+        inj.write_at(&file, &[1u8; 8], 0).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(inj.delayed(), 1);
+        assert_eq!(inj.injected(), 0);
+    }
+}

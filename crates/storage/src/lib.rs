@@ -13,12 +13,17 @@
 //!   The temp files are completely separate from the database file.
 //!
 //! This crate performs plain positioned I/O; all caching policy lives one
-//! level up in `rexa-buffer`.
+//! level up in `rexa-buffer`. Every operation goes through a pluggable
+//! [`IoBackend`] — [`StdIo`] in production, a deterministic
+//! [`FaultInjector`] in the chaos tests (see DESIGN.md §7, "S15 — Fault
+//! model").
 
 pub mod db_file;
+pub mod io_backend;
 pub mod temp_file;
 
 pub use db_file::{BlockId, DatabaseFile};
+pub use io_backend::{FaultInjector, FaultKind, FaultRule, IoBackend, IoOp, Schedule, StdIo};
 pub use temp_file::{SlotId, TempFileManager, VarId};
 
 /// DuckDB's fixed page size: 2^18 = 256 KiB, chosen for OLAP workloads

@@ -4,13 +4,19 @@
 //! file; freed slots are recycled so the file stays as small as the peak
 //! spilled working set. Variable-size buffers are each written to their own
 //! file, created on spill and deleted on load or destroy.
+//!
+//! All I/O goes through a pluggable [`IoBackend`], and every failure path
+//! leaves the manager consistent: a failed slot write returns the slot to
+//! the free list, a failed variable-size spill removes the partial file, and
+//! the accounting gauges only ever count bytes that were durably written.
 
+use crate::io_backend::{IoBackend, StdIo};
 use parking_lot::Mutex;
 use rexa_exec::{Error, Result};
 use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A slot index in the fixed-size temp file.
 pub type SlotId = u64;
@@ -30,6 +36,7 @@ struct SlottedFile {
 pub struct TempFileManager {
     dir: PathBuf,
     page_size: usize,
+    backend: Arc<dyn IoBackend>,
     slotted: Mutex<SlottedFile>,
     next_var: AtomicU64,
     /// Bytes currently occupied on disk by spilled data (fixed slots in use
@@ -43,12 +50,24 @@ pub struct TempFileManager {
 }
 
 impl TempFileManager {
-    /// Create a manager that spills into `dir` (created if absent).
+    /// Create a manager that spills into `dir` (created if absent) using
+    /// plain OS I/O.
     pub fn new(dir: PathBuf, page_size: usize) -> Result<Self> {
+        Self::with_backend(dir, page_size, Arc::new(StdIo))
+    }
+
+    /// Create a manager with a custom [`IoBackend`] (e.g. a
+    /// [`FaultInjector`](crate::FaultInjector) in chaos tests).
+    pub fn with_backend(
+        dir: PathBuf,
+        page_size: usize,
+        backend: Arc<dyn IoBackend>,
+    ) -> Result<Self> {
         std::fs::create_dir_all(&dir)?;
         Ok(TempFileManager {
             dir,
             page_size,
+            backend,
             slotted: Mutex::new(SlottedFile::default()),
             next_var: AtomicU64::new(0),
             bytes_on_disk: AtomicU64::new(0),
@@ -77,7 +96,34 @@ impl TempFileManager {
         self.bytes_read.load(Ordering::Relaxed)
     }
 
+    /// Slots currently holding live spilled pages (in use = allocated minus
+    /// free-listed). Zero when nothing is spilled — the chaos tests assert
+    /// this returns to its baseline after every failed query.
+    pub fn slots_in_use(&self) -> u64 {
+        let inner = self.slotted.lock();
+        inner.next - inner.free.len() as u64
+    }
+
+    /// Lazily (re)open the slotted spill file, fallibly: the file is created
+    /// on the first spill, and a failed open is reported as [`Error::Io`]
+    /// and retried on the next spill rather than poisoning the manager.
+    /// (This used to be an `unwrap` — a latent panic when the open was
+    /// observable apart from the write.)
+    fn ensure_slotted_file<'a>(&self, inner: &'a mut SlottedFile) -> Result<&'a File> {
+        if inner.file.is_none() {
+            let path = self.dir.join("rexa.tmp");
+            let mut opts = OpenOptions::new();
+            opts.read(true).write(true).create(true).truncate(true);
+            inner.file = Some(self.backend.open(&opts, &path)?);
+        }
+        Ok(inner.file.as_ref().expect("just opened"))
+    }
+
     /// Spill one fixed-size page; returns the slot it was written to.
+    ///
+    /// On failure the chosen slot is returned to the free list, so a
+    /// transient error (or a retry after the disk gains space) reuses it
+    /// instead of leaking a hole in the temp file.
     pub fn write_slot(&self, data: &[u8]) -> Result<SlotId> {
         if data.len() != self.page_size {
             return Err(Error::InvalidInput(format!(
@@ -87,24 +133,19 @@ impl TempFileManager {
             )));
         }
         let mut inner = self.slotted.lock();
-        if inner.file.is_none() {
-            let path = self.dir.join("rexa.tmp");
-            inner.file = Some(
-                OpenOptions::new()
-                    .read(true)
-                    .write(true)
-                    .create(true)
-                    .truncate(true)
-                    .open(path)?,
-            );
-        }
         let slot = inner.free.pop().unwrap_or_else(|| {
             let s = inner.next;
             inner.next += 1;
             s
         });
         let offset = slot * self.page_size as u64;
-        inner.file.as_ref().unwrap().write_all_at(data, offset)?;
+        let write = self
+            .ensure_slotted_file(&mut inner)
+            .and_then(|file| Ok(self.backend.write_at(file, data, offset)?));
+        if let Err(e) = write {
+            inner.free.push(slot);
+            return Err(e);
+        }
         drop(inner);
         self.bytes_on_disk
             .fetch_add(self.page_size as u64, Ordering::Relaxed);
@@ -116,6 +157,9 @@ impl TempFileManager {
     /// Load a spilled fixed-size page back and free its slot (the in-memory
     /// copy becomes the only copy: temporary pages may be mutated after
     /// reload, so the disk copy must not be trusted afterwards).
+    ///
+    /// On failure the slot stays allocated and the page remains readable:
+    /// the caller may retry the load.
     pub fn read_slot(&self, slot: SlotId, buf: &mut [u8]) -> Result<()> {
         if buf.len() != self.page_size {
             return Err(Error::InvalidInput("read buffer size mismatch".into()));
@@ -125,7 +169,8 @@ impl TempFileManager {
             .file
             .as_ref()
             .ok_or_else(|| Error::Internal("read_slot before any spill".into()))?;
-        file.read_exact_at(buf, slot * self.page_size as u64)?;
+        self.backend
+            .read_at(file, buf, slot * self.page_size as u64)?;
         inner.free.push(slot);
         drop(inner);
         self.bytes_on_disk
@@ -148,9 +193,22 @@ impl TempFileManager {
     }
 
     /// Spill a variable-size buffer to its own file.
+    ///
+    /// On failure any partially written file is removed (best effort) and
+    /// nothing is accounted.
     pub fn write_var(&self, data: &[u8]) -> Result<VarId> {
         let id = self.next_var.fetch_add(1, Ordering::Relaxed);
-        std::fs::write(self.var_path(id), data)?;
+        let path = self.var_path(id);
+        let mut opts = OpenOptions::new();
+        opts.write(true).create(true).truncate(true);
+        let write = self
+            .backend
+            .open(&opts, &path)
+            .and_then(|file| self.backend.write_at(&file, data, 0));
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&path); // torn spill: drop the debris
+            return Err(e.into());
+        }
         self.bytes_on_disk
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.bytes_written
@@ -161,10 +219,12 @@ impl TempFileManager {
     /// Load a spilled variable-size buffer back and delete its file.
     pub fn read_var(&self, id: VarId, buf: &mut [u8]) -> Result<()> {
         let path = self.var_path(id);
-        let file = File::open(&path)?;
-        file.read_exact_at(buf, 0)?;
+        let mut opts = OpenOptions::new();
+        opts.read(true);
+        let file = self.backend.open(&opts, &path)?;
+        self.backend.read_at(&file, buf, 0)?;
         drop(file);
-        std::fs::remove_file(&path)?;
+        self.backend.remove(&path)?;
         self.bytes_on_disk
             .fetch_sub(buf.len() as u64, Ordering::Relaxed);
         self.bytes_read
@@ -174,7 +234,7 @@ impl TempFileManager {
 
     /// Delete a spilled variable-size buffer without reading it.
     pub fn free_var(&self, id: VarId, size: usize) -> Result<()> {
-        std::fs::remove_file(self.var_path(id))?;
+        self.backend.remove(&self.var_path(id))?;
         self.bytes_on_disk.fetch_sub(size as u64, Ordering::Relaxed);
         Ok(())
     }
@@ -183,10 +243,16 @@ impl TempFileManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io_backend::{FaultInjector, FaultKind, FaultRule, IoOp, Schedule};
     use crate::scratch_dir;
 
     fn fresh(page_size: usize) -> TempFileManager {
         TempFileManager::new(scratch_dir("tmpfile").unwrap(), page_size).unwrap()
+    }
+
+    fn faulty(page_size: usize, injector: Arc<FaultInjector>) -> TempFileManager {
+        TempFileManager::with_backend(scratch_dir("tmpfault").unwrap(), page_size, injector)
+            .unwrap()
     }
 
     #[test]
@@ -198,11 +264,13 @@ mod tests {
         let sb = t.write_slot(&b).unwrap();
         assert_ne!(sa, sb);
         assert_eq!(t.bytes_on_disk(), 512);
+        assert_eq!(t.slots_in_use(), 2);
 
         let mut buf = vec![0u8; 256];
         t.read_slot(sa, &mut buf).unwrap();
         assert_eq!(buf, a);
         assert_eq!(t.bytes_on_disk(), 256);
+        assert_eq!(t.slots_in_use(), 1);
 
         // The freed slot is reused for the next spill.
         let sc = t.write_slot(&b).unwrap();
@@ -285,5 +353,86 @@ mod tests {
             }
         });
         assert_eq!(t.bytes_on_disk(), 0);
+    }
+
+    /// Regression for the latent panic at the old `temp_file.rs:107`
+    /// (`inner.file.as_ref().unwrap()`): a failed lazy open of the slotted
+    /// file must surface as `Error::Io`, leave no slot allocated, and the
+    /// next spill must recover by reopening.
+    #[test]
+    fn failed_lazy_open_is_io_error_and_recovers() {
+        let inj = Arc::new(FaultInjector::new(5).rule(FaultRule::on(
+            IoOp::Open,
+            Schedule::Nth(0),
+            FaultKind::Generic,
+        )));
+        let t = faulty(64, inj);
+        let err = t.write_slot(&[1u8; 64]).unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "expected Io, got {err}");
+        assert_eq!(t.slots_in_use(), 0, "failed spill must not leak its slot");
+        assert_eq!(t.bytes_on_disk(), 0);
+        // Second attempt reopens and succeeds; the recycled slot is 0.
+        assert_eq!(t.write_slot(&[2u8; 64]).unwrap(), 0);
+        let mut buf = [0u8; 64];
+        t.read_slot(0, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 64]);
+    }
+
+    #[test]
+    fn failed_slot_write_returns_slot_to_free_list() {
+        let inj = Arc::new(FaultInjector::new(11).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Nth(1),
+            FaultKind::Enospc,
+        )));
+        let t = faulty(64, inj);
+        let s0 = t.write_slot(&[1u8; 64]).unwrap();
+        let err = t.write_slot(&[2u8; 64]).unwrap_err(); // injected ENOSPC
+        match err {
+            Error::Io(e) => assert_eq!(e.raw_os_error(), Some(28)),
+            other => panic!("expected ENOSPC Io error, got {other}"),
+        }
+        assert_eq!(t.slots_in_use(), 1, "only the successful spill is live");
+        assert_eq!(t.bytes_on_disk(), 64);
+        // The failed slot is recycled by the next write.
+        let s2 = t.write_slot(&[3u8; 64]).unwrap();
+        assert_ne!(s0, s2);
+        assert_eq!(s2, 1, "slot 1 came back off the free list");
+    }
+
+    #[test]
+    fn failed_var_write_removes_partial_file() {
+        let inj = Arc::new(FaultInjector::new(13).rule(FaultRule::on(
+            IoOp::Write,
+            Schedule::Nth(0),
+            FaultKind::TornWrite,
+        )));
+        let t = faulty(64, inj);
+        let err = t.write_var(&[7u8; 1000]).unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+        assert_eq!(t.bytes_on_disk(), 0, "torn spill must not be accounted");
+        // The next id's spill works and round-trips.
+        let id = t.write_var(&[8u8; 100]).unwrap();
+        let mut buf = vec![0u8; 100];
+        t.read_var(id, &mut buf).unwrap();
+        assert_eq!(buf, vec![8u8; 100]);
+    }
+
+    #[test]
+    fn failed_read_keeps_slot_alive_for_retry() {
+        let inj = Arc::new(FaultInjector::new(17).rule(FaultRule::on(
+            IoOp::Read,
+            Schedule::Nth(0),
+            FaultKind::Transient,
+        )));
+        let t = faulty(64, inj);
+        let s = t.write_slot(&[5u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(t.read_slot(s, &mut buf).is_err());
+        assert_eq!(t.slots_in_use(), 1, "slot must survive the failed read");
+        // Retry succeeds and frees the slot.
+        t.read_slot(s, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 64]);
+        assert_eq!(t.slots_in_use(), 0);
     }
 }

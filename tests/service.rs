@@ -9,7 +9,7 @@ use rexa_exec::{ChunkCollection, DataChunk, Error, LogicalType, Vector, VECTOR_S
 use rexa_service::{
     estimate_footprint, QueryInput, QueryOptions, QueryRequest, QueryService, ServiceConfig,
 };
-use rexa_storage::scratch_dir;
+use rexa_storage::{scratch_dir, FaultInjector, FaultKind, FaultRule, IoBackend, IoOp, Schedule};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,6 +22,19 @@ fn mgr_with(limit: usize) -> Arc<BufferManager> {
             .page_size(PAGE)
             .policy(EvictionPolicy::Mixed)
             .temp_dir(scratch_dir("svc").unwrap()),
+    )
+    .unwrap()
+}
+
+/// Like [`mgr_with`], spilling through a fault injector.
+fn faulty_mgr_with(limit: usize, injector: &Arc<FaultInjector>) -> Arc<BufferManager> {
+    BufferManager::new(
+        BufferManagerConfig::with_limit(limit)
+            .page_size(PAGE)
+            .policy(EvictionPolicy::Mixed)
+            .temp_dir(scratch_dir("svcfault").unwrap())
+            .io_backend(Arc::clone(injector) as Arc<dyn IoBackend>)
+            .spill_backoff(Duration::from_micros(200)),
     )
     .unwrap()
 }
@@ -374,6 +387,167 @@ fn drop_cancels_running_queries_without_deadlines() {
         Err(Error::Cancelled) => {}
         other => panic!("expected Cancelled on shutdown, got {other:?}"),
     }
+}
+
+/// Fault isolation on a shared buffer manager: a query killed by ENOSPC on
+/// its spill writes must not take down a concurrent fault-free query, a
+/// queued successor must still launch, and — once the "disk" recovers —
+/// the same spilling query succeeds over the same service. Spill-failure
+/// errors must never poison shared state.
+#[test]
+fn enospc_killed_query_is_isolated_from_concurrent_queries() {
+    let injector = Arc::new(FaultInjector::new(41).rule(FaultRule::on(
+        IoOp::Write,
+        Schedule::Always,
+        FaultKind::Enospc,
+    )));
+    let big_rows = 200_000;
+    let footprint = grouping_footprint(big_rows);
+    // Tight enough that the big all-distinct query must spill (cf. the
+    // cancellation test above), with slack for the small queries.
+    let mgr = faulty_mgr_with(footprint + footprint / 4, &injector);
+    let service = QueryService::new(
+        Arc::clone(&mgr),
+        ServiceConfig {
+            pool_threads: 4,
+            max_concurrent: 2,
+            queue_bound: 8,
+        },
+    );
+
+    // A small in-memory query that is mid-output (sleeping in its
+    // consumer) while the doomed query runs: it performs no spill writes,
+    // so it must be untouched by the injector.
+    let seen = Arc::new(AtomicUsize::new(0));
+    let small = {
+        let seen = Arc::clone(&seen);
+        let mut request = grouping_request(&make_input(4_000, 50));
+        request.options.consumer = Some(Arc::new(move |c: DataChunk| {
+            if seen.fetch_add(c.len(), Ordering::Relaxed) == 0 {
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            Ok(())
+        }));
+        service.submit(request).unwrap()
+    };
+    while seen.load(Ordering::Relaxed) == 0 && !small.is_done() {
+        std::thread::yield_now();
+    }
+
+    // The doomed query: all-distinct, must spill, every spill write fails.
+    let doomed = service
+        .submit(grouping_request(&make_input(big_rows, big_rows)))
+        .unwrap();
+    // A successor queued behind the doomed query's slot.
+    let successor = service
+        .submit(grouping_request(&make_input(10_000, 100)))
+        .unwrap();
+
+    match doomed.wait() {
+        Err(Error::SpillFailed { source, .. }) => {
+            assert_eq!(source.raw_os_error(), Some(28), "expected ENOSPC");
+        }
+        other => panic!("expected SpillFailed, got {other:?}"),
+    }
+    assert!(injector.injected() > 0, "the fault never fired");
+
+    // The concurrent query and the queued successor are unaffected.
+    let out = small
+        .wait()
+        .expect("fault-free concurrent query must survive");
+    assert_eq!(out.stats.groups, 50);
+    let out = successor
+        .wait()
+        .expect("queued successor must still launch");
+    assert_eq!(out.stats.groups, 100);
+
+    // The shared manager is back at baseline: nothing pinned, reserved,
+    // resident, or on disk.
+    let s = mgr.stats();
+    assert_eq!(s.non_paged, 0, "leaked reservation: {s:?}");
+    assert_eq!(s.temporary_resident, 0, "leaked pages: {s:?}");
+    assert_eq!(s.temp_bytes_on_disk, 0, "leaked spill bytes: {s:?}");
+    assert_eq!(mgr.temp_slots_in_use(), 0, "leaked temp slot");
+    assert!(s.spill_failures > 0, "failure must be counted: {s:?}");
+
+    // Disk "recovers": the very query that died now completes correctly —
+    // the failure poisoned nothing.
+    injector.set_enabled(false);
+    let out = service
+        .submit(grouping_request(&make_input(big_rows, big_rows)))
+        .unwrap()
+        .wait()
+        .expect("recovered query must succeed");
+    assert_eq!(out.stats.groups, big_rows);
+    assert!(
+        out.buffer.evictions_temporary > 0,
+        "recovery must exercise the spill path: {:?}",
+        out.buffer
+    );
+}
+
+/// Latency injection: a query whose every spill write is slowed (and
+/// transiently failed every few ops) blows its deadline and is cancelled
+/// cleanly, and the injected delays/retries are visible in the new
+/// `BufferStats` spill counters.
+#[test]
+fn injected_spill_latency_trips_deadline_and_counts_retries() {
+    let injector = Arc::new(
+        FaultInjector::new(43)
+            .rule(FaultRule::on(
+                IoOp::Write,
+                Schedule::Always,
+                FaultKind::Latency(Duration::from_millis(3)),
+            ))
+            .rule(FaultRule::on(
+                IoOp::Write,
+                Schedule::EveryNth(2),
+                FaultKind::Transient,
+            )),
+    );
+    let rows = 200_000;
+    let footprint = grouping_footprint(rows);
+    let mgr = faulty_mgr_with(footprint + footprint / 4, &injector);
+    let service = QueryService::new(
+        Arc::clone(&mgr),
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 1,
+            queue_bound: 4,
+        },
+    );
+
+    // Hundreds of spill writes at >=3 ms each: a 150 ms deadline fires
+    // mid-spill, long before the query could finish.
+    let mut request = grouping_request(&make_input(rows, rows));
+    request.options.deadline = Some(Duration::from_millis(150));
+    let handle = service.submit(request).unwrap();
+    match handle.wait() {
+        Err(Error::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // The injected behaviour is observable: writes were delayed, transient
+    // faults were retried (and none was allowed to become a failure).
+    assert!(injector.delayed() > 0, "latency rule never fired");
+    let s = mgr.stats();
+    assert!(s.spill_retries > 0, "retries must be counted: {s:?}");
+    assert_eq!(s.spill_failures, 0, "transients must be absorbed: {s:?}");
+
+    // Cancellation mid-slow-spill leaked nothing.
+    assert_eq!(s.non_paged, 0, "leaked reservation: {s:?}");
+    assert_eq!(s.temporary_resident, 0, "leaked pages: {s:?}");
+    assert_eq!(s.temp_bytes_on_disk, 0, "leaked spill bytes: {s:?}");
+    assert_eq!(mgr.temp_slots_in_use(), 0, "leaked temp slot");
+
+    // And the service still runs fault-free queries to completion.
+    injector.set_enabled(false);
+    let out = service
+        .submit(grouping_request(&make_input(20_000, 200)))
+        .unwrap()
+        .wait()
+        .expect("follow-up query must succeed");
+    assert_eq!(out.stats.groups, 200);
 }
 
 /// Service results match a direct single-query run.

@@ -152,9 +152,12 @@ fn spill_io_failure_surfaces_as_error_not_corruption() {
     };
     let source = CollectionSource::new(&coll);
     let err = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap_err();
+    // The eviction path wraps the failed write as the typed spill error
+    // (ENOTDIR is fatal, so no retries are attempted first).
+    assert!(err.is_io(), "expected a storage error, got {err}");
     assert!(
-        matches!(err, rexa_exec::Error::Io(_)),
-        "expected an I/O error, got {err}"
+        matches!(&err, rexa_exec::Error::SpillFailed { retries: 0, .. }),
+        "expected SpillFailed without retries, got {err}"
     );
 }
 

@@ -7,7 +7,15 @@
 //! * no shrinking — a failing case prints its full `Debug` input instead;
 //! * assertions panic rather than returning `TestCaseError`;
 //! * string strategies support only the character-class + repetition
-//!   patterns the tests actually use.
+//!   patterns the tests actually use;
+//! * regression files store the failing case's 64-bit seed (`cc <name>
+//!   <16 hex digits>`) instead of a shrunk value digest. Seeds found in
+//!   `<test file>.proptest-regressions` are replayed before fresh cases,
+//!   and every new failure is appended there.
+//!
+//! The case count can be overridden at runtime with the `PROPTEST_CASES`
+//! environment variable, mirroring the real crate (CI pins it so chaos
+//! runs stay fast and reproducible).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,7 +34,14 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng(StdRng::seed_from_u64(h))
+        Self::from_seed(h)
+    }
+
+    /// Deterministic rng from an explicit 64-bit seed — the unit of replay:
+    /// each property-test case runs on its own seeded rng so a failure can
+    /// be reproduced from the seed alone.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
     }
 
     fn gen_u64(&mut self) -> u64 {
@@ -504,6 +519,7 @@ macro_rules! proptest {
             fn $name() {
                 $crate::run_proptest(
                     &($config),
+                    file!(),
                     stringify!($name),
                     |rng| {
                         $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
@@ -530,30 +546,137 @@ macro_rules! proptest {
     };
 }
 
-/// Drives one property test: repeatedly draws a case and runs it, skipping
-/// [`prop_assume!`] rejections; on failure re-panics after printing inputs.
-pub fn run_proptest<F, B>(config: &ProptestConfig, name: &str, mut make_case: F)
+/// `<test file>.proptest-regressions`, next to the test source file.
+/// `file` is the test's `file!()`, which rustc makes relative to the
+/// *workspace* root — while cargo runs tests from the *package* root. Walk
+/// up from the current directory until the source file resolves, so the
+/// regression file lands next to the source no matter which package
+/// declared the test target.
+fn regression_path(file: &str) -> std::path::PathBuf {
+    let rel = std::path::Path::new(file);
+    let mut base = std::env::current_dir().unwrap_or_default();
+    let mut path = loop {
+        if base.join(rel).exists() {
+            break base.join(rel);
+        }
+        if !base.pop() {
+            break rel.to_path_buf();
+        }
+    };
+    path.set_extension("proptest-regressions");
+    path
+}
+
+/// Seeds previously persisted for `name`. Two line formats are honored:
+///
+/// * `cc <name> <16 hex digits>` — this stub's own format (entries for
+///   other tests are skipped);
+/// * `cc <64 hex digits> [# …]` — the real crate's shrunk-value digests.
+///   Those cannot be decoded without real shrinking, so the digest's first
+///   16 hex digits become a deterministic replay seed for every test
+///   sharing the file — the historical failure *neighborhood* keeps
+///   getting probed.
+fn load_regression_seeds(path: &std::path::Path, name: &str) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("cc") {
+                return None;
+            }
+            let tok = parts.next()?;
+            if tok == name {
+                u64::from_str_radix(parts.next()?, 16).ok()
+            } else if tok.len() == 64 && tok.bytes().all(|b| b.is_ascii_hexdigit()) {
+                u64::from_str_radix(&tok[..16], 16).ok()
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Append a failing seed so future runs replay it first. Best-effort: a
+/// read-only checkout must not turn a test failure into a second panic.
+fn persist_regression_seed(path: &std::path::Path, name: &str, seed: u64) {
+    use std::io::Write;
+    let header = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if header {
+        let _ = writeln!(
+            f,
+            "# Seeds for failing cases persisted by the offline proptest stub.\n\
+             # Each line is `cc <test name> <16-hex-digit case seed>`; saved seeds\n\
+             # are replayed before fresh cases on every run. Do not edit by hand."
+        );
+    }
+    let _ = writeln!(f, "cc {name} {seed:016x}");
+}
+
+/// Drives one property test: replays any persisted regression seeds, then
+/// repeatedly draws a fresh per-case seed and runs the case, skipping
+/// [`prop_assume!`] rejections; on failure the inputs and the case seed are
+/// printed and the seed is persisted to the test file's
+/// `.proptest-regressions` sibling. `PROPTEST_CASES` overrides the
+/// configured case count.
+pub fn run_proptest<F, B>(config: &ProptestConfig, file: &str, name: &str, mut make_case: F)
 where
     F: FnMut(&mut TestRng) -> (String, B),
     B: FnOnce(),
 {
-    let mut rng = TestRng::from_name(name);
-    let mut passed = 0u32;
-    let mut attempts = 0u32;
-    let max_attempts = config.cases.saturating_mul(20).saturating_add(100);
-    while passed < config.cases && attempts < max_attempts {
-        attempts += 1;
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let regressions = regression_path(file);
+    let mut run_seed = |seed: u64, replayed: bool, case: u32| {
+        let mut rng = TestRng::from_seed(seed);
         let (inputs, body) = make_case(&mut rng);
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
-            Ok(()) => passed += 1,
-            Err(payload) if payload.downcast_ref::<Rejected>().is_some() => continue,
+            Ok(()) => Ok(true),
+            Err(payload) if payload.downcast_ref::<Rejected>().is_some() => Ok(false),
             Err(payload) => {
-                eprintln!(
-                    "proptest {name}: case {} (attempt {attempts}) failed with inputs:\n{inputs}",
-                    passed + 1
-                );
-                std::panic::resume_unwind(payload);
+                if replayed {
+                    eprintln!(
+                        "proptest {name}: persisted regression seed {seed:016x} \
+                         still fails with inputs:\n{inputs}"
+                    );
+                } else {
+                    persist_regression_seed(&regressions, name, seed);
+                    eprintln!(
+                        "proptest {name}: case {case} (seed {seed:016x}) failed with \
+                         inputs:\n{inputs}seed persisted to {}",
+                        regressions.display()
+                    );
+                }
+                Err(payload)
             }
+        }
+    };
+    for seed in load_regression_seeds(&regressions, name) {
+        if let Err(payload) = run_seed(seed, true, 0) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    let mut master = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = cases.saturating_mul(20).saturating_add(100);
+    while passed < cases && attempts < max_attempts {
+        attempts += 1;
+        match run_seed(master.gen_u64(), false, passed + 1) {
+            Ok(true) => passed += 1,
+            Ok(false) => continue,
+            Err(payload) => std::panic::resume_unwind(payload),
         }
     }
 }
@@ -573,6 +696,52 @@ mod tests {
             let s = crate::sample_pattern("[a-c]", &mut rng);
             assert!(matches!(s.as_str(), "a" | "b" | "c"));
         }
+    }
+
+    #[test]
+    fn regression_seed_round_trip() {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("chaos.rs"), "// test source").unwrap();
+        let path = crate::regression_path(dir.join("chaos.rs").to_str().expect("utf-8 temp path"));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(path.extension().unwrap(), "proptest-regressions");
+        assert!(crate::load_regression_seeds(&path, "t").is_empty());
+        crate::persist_regression_seed(&path, "alpha", 0xdead_beef_0042_0001);
+        crate::persist_regression_seed(&path, "beta", 7);
+        crate::persist_regression_seed(&path, "alpha", 11);
+        assert_eq!(
+            crate::load_regression_seeds(&path, "alpha"),
+            vec![0xdead_beef_0042_0001, 11]
+        );
+        assert_eq!(crate::load_regression_seeds(&path, "beta"), vec![7]);
+        // Real-proptest digest lines yield a replay seed for any test.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "cc ab12{} # shrinks to case = whatever", "cd".repeat(30)).unwrap();
+        }
+        assert_eq!(
+            crate::load_regression_seeds(&path, "gamma"),
+            vec![0xab12_cdcd_cdcd_cdcd]
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('#'), "header comment expected: {text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn per_case_seeds_are_deterministic() {
+        let sample = |seed: u64| {
+            let mut rng = crate::TestRng::from_seed(seed);
+            (0usize..1000).sample(&mut rng)
+        };
+        assert_eq!(sample(42), sample(42));
+        // Different seeds give an independent stream (overwhelmingly).
+        assert!((0..8u64).any(|s| sample(s) != sample(42)));
     }
 
     #[test]
