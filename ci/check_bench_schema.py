@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate the schema of a BENCH_agg.json produced by the agg_hotpath
+benchmark binary (crates/bench/src/bin/agg_hotpath.rs).
+
+The committed BENCH_agg.json at the repo root is the tracked baseline for
+the aggregation hot path; this check keeps the file machine-readable so a
+schema drift in the emitter fails CI instead of silently breaking the
+tooling that diffs baselines.
+
+Usage: check_bench_schema.py <path-to-json>
+"""
+
+import json
+import sys
+
+MEASUREMENT_KEYS = {
+    "phase1_secs": float,
+    "phase2_secs": float,
+    "total_secs": float,
+    "phase1_rows_per_sec": float,
+    "phase2_rows_per_sec": float,
+    "rows_per_sec": float,
+    "groups": int,
+}
+
+EXPECTED_WORKLOADS = ["thin_int", "wide_multi_key", "string_key"]
+
+
+def fail(msg):
+    print(f"schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_measurement(m, where):
+    if not isinstance(m, dict):
+        fail(f"{where}: expected object, got {type(m).__name__}")
+    for key, ty in MEASUREMENT_KEYS.items():
+        if key not in m:
+            fail(f"{where}: missing key {key!r}")
+        v = m[key]
+        # ints are acceptable where floats are expected (JSON "0").
+        if ty is float and not isinstance(v, (int, float)):
+            fail(f"{where}.{key}: expected number, got {type(v).__name__}")
+        if ty is int and not isinstance(v, int):
+            fail(f"{where}.{key}: expected integer, got {type(v).__name__}")
+        if v < 0:
+            fail(f"{where}.{key}: negative value {v}")
+    extra = set(m) - set(MEASUREMENT_KEYS)
+    if extra:
+        fail(f"{where}: unexpected keys {sorted(extra)}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_schema.py <path-to-json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    if doc.get("bench") != "agg_hotpath":
+        fail(f"bench: expected 'agg_hotpath', got {doc.get('bench')!r}")
+    for key in ("rows", "reps", "threads"):
+        if not isinstance(doc.get(key), int) or doc[key] <= 0:
+            fail(f"{key}: expected positive integer, got {doc.get(key)!r}")
+
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list):
+        fail("workloads: expected array")
+    names = [w.get("workload") for w in workloads]
+    if names != EXPECTED_WORKLOADS:
+        fail(f"workloads: expected {EXPECTED_WORKLOADS}, got {names}")
+
+    for w in workloads:
+        name = w["workload"]
+        for key in ("rows", "groups"):
+            if not isinstance(w.get(key), int) or w[key] <= 0:
+                fail(f"{name}.{key}: expected positive integer, got {w.get(key)!r}")
+        for mode in ("scalar", "vectorized"):
+            if mode not in w:
+                fail(f"{name}: missing {mode!r} measurement")
+            check_measurement(w[mode], f"{name}.{mode}")
+        speedup = w.get("phase1_speedup")
+        if not isinstance(speedup, (int, float)) or speedup < 0:
+            fail(f"{name}.phase1_speedup: expected non-negative number, got {speedup!r}")
+        if w["scalar"]["groups"] != w["vectorized"]["groups"]:
+            fail(f"{name}: scalar and vectorized disagree on group count")
+
+    print(f"schema check OK: {len(workloads)} workloads")
+
+
+if __name__ == "__main__":
+    main()

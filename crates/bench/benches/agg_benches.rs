@@ -37,6 +37,7 @@ fn agg_config(threads: usize, radix_bits: u32, reset: u32) -> AggregateConfig {
         ht_capacity: 1 << 14,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: reset,
+        ..Default::default()
     }
 }
 

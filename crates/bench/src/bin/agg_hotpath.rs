@@ -1,0 +1,329 @@
+//! **Aggregation hot-path baseline**: rows/sec of phase 1 (thread-local
+//! pre-aggregation) and phase 2 (partition-wise aggregation) for the
+//! vectorized kernels against the retained scalar oracle, across the three
+//! grouping shapes the kernels were built for (thin integer key, wide
+//! multi-column key, string key).
+//!
+//! Emits a machine-readable `BENCH_agg.json` (see README "Benchmarks") so
+//! regressions in the aggregation hot path are visible diff-to-diff; the
+//! CI `bench-smoke` job runs this binary on a tiny row count and validates
+//! the schema.
+//!
+//! ```text
+//! agg_hotpath [--rows N] [--reps N] [--threads N] [--out PATH]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rexa_bench::print_table;
+use rexa_buffer::{BufferManager, BufferManagerConfig, EvictionPolicy};
+use rexa_core::{
+    hash_aggregate_streaming, AggregateConfig, AggregateSpec, HashAggregatePlan, KernelMode,
+    RunStats,
+};
+use rexa_exec::pipeline::CollectionSource;
+use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Vector, VECTOR_SIZE};
+use rexa_storage::scratch_dir;
+use std::time::Instant;
+
+struct Args {
+    rows: usize,
+    reps: usize,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rows: 2_000_000,
+        reps: 3,
+        threads: 1,
+        out: "BENCH_agg.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rows" => args.rows = value(&mut i).parse().expect("--rows"),
+            "--reps" => args.reps = value(&mut i).parse::<usize>().expect("--reps").max(1),
+            "--threads" => args.threads = value(&mut i).parse().expect("--threads"),
+            "--out" => args.out = value(&mut i),
+            "--help" | "-h" => {
+                eprintln!("options: --rows N --reps N --threads N --out PATH");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// One benchmark workload: a generated input plus its plan.
+struct Workload {
+    name: &'static str,
+    coll: ChunkCollection,
+    plan: HashAggregatePlan,
+}
+
+/// Single i64 group key, two cheap aggregates: the pure probe/update race.
+fn thin_int(rows: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xA661);
+    let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+    let mut remaining = rows;
+    while remaining > 0 {
+        let n = remaining.min(VECTOR_SIZE);
+        remaining -= n;
+        let keys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..65_536)).collect();
+        let vals: Vec<i64> = keys.iter().map(|k| k.wrapping_mul(3)).collect();
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(keys),
+            Vector::from_i64(vals),
+        ]))
+        .unwrap();
+    }
+    Workload {
+        name: "thin_int",
+        coll,
+        plan: HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        },
+    }
+}
+
+/// Three-column key (i64, date, f64) and a full aggregate mix over a float
+/// payload: exercises the per-column batched compare and every kernel class.
+fn wide_multi_key(rows: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xA662);
+    let mut coll = ChunkCollection::new(vec![
+        LogicalType::Int64,
+        LogicalType::Date,
+        LogicalType::Float64,
+        LogicalType::Float64,
+    ]);
+    let mut remaining = rows;
+    while remaining > 0 {
+        let n = remaining.min(VECTOR_SIZE);
+        remaining -= n;
+        let k1: Vec<i64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+        let k2: Vec<i32> = (0..n).map(|_| rng.gen_range(0..32)).collect();
+        let k3: Vec<f64> = (0..n).map(|_| rng.gen_range(0..32) as f64 * 0.25).collect();
+        let vals: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 100.0).collect();
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(k1),
+            Vector::from_dates(k2),
+            Vector::from_f64(k3),
+            Vector::from_f64(vals),
+        ]))
+        .unwrap();
+    }
+    Workload {
+        name: "wide_multi_key",
+        coll,
+        plan: HashAggregatePlan {
+            group_cols: vec![0, 1, 2],
+            aggregates: vec![
+                AggregateSpec::count_star(),
+                AggregateSpec::sum(3),
+                AggregateSpec::min(3),
+                AggregateSpec::max(3),
+                AggregateSpec::avg(3),
+            ],
+        },
+    }
+}
+
+/// Varchar group key mixing inline and heap strings: the byte-compare path.
+fn string_key(rows: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xA663);
+    let mut coll = ChunkCollection::new(vec![LogicalType::Varchar, LogicalType::Int64]);
+    let mut remaining = rows;
+    while remaining > 0 {
+        let n = remaining.min(VECTOR_SIZE);
+        remaining -= n;
+        let keys: Vec<String> = (0..n)
+            .map(|_| {
+                let k: u32 = rng.gen_range(0..8_192);
+                if k.is_multiple_of(2) {
+                    format!("k{k}")
+                } else {
+                    format!("group key number {k:06} with a heap-allocated payload")
+                }
+            })
+            .collect();
+        let vals: Vec<i64> = (0..n as i64).collect();
+        coll.push(DataChunk::new(vec![
+            Vector::from_strs(keys),
+            Vector::from_i64(vals),
+        ]))
+        .unwrap();
+    }
+    Workload {
+        name: "string_key",
+        coll,
+        plan: HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        },
+    }
+}
+
+/// One mode's best-of-`reps` timings (minimum wall time per phase; the
+/// minimum is the standard noise-robust estimator for throughput
+/// micro-benchmarks — everything above it is scheduling interference).
+struct Measurement {
+    phase1_secs: f64,
+    phase2_secs: f64,
+    total_secs: f64,
+    groups: usize,
+    rows_in: usize,
+}
+
+fn measure(w: &Workload, mode: KernelMode, args: &Args) -> Measurement {
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(1 << 30)
+            .page_size(64 << 10)
+            .policy(EvictionPolicy::Mixed)
+            .temp_dir(scratch_dir("agghot").unwrap()),
+    )
+    .unwrap();
+    let config = AggregateConfig {
+        threads: args.threads,
+        kernel_mode: mode,
+        ..Default::default()
+    };
+    let mut p1 = Vec::with_capacity(args.reps);
+    let mut p2 = Vec::with_capacity(args.reps);
+    let mut total = Vec::with_capacity(args.reps);
+    let mut last: Option<RunStats> = None;
+    for _ in 0..args.reps {
+        let source = CollectionSource::new(&w.coll);
+        let start = Instant::now();
+        let stats =
+            hash_aggregate_streaming(&mgr, &source, w.coll.types(), &w.plan, &config, &|_chunk| {
+                Ok(())
+            })
+            .unwrap();
+        total.push(start.elapsed().as_secs_f64());
+        p1.push(stats.phase1.as_secs_f64());
+        p2.push(stats.phase2.as_secs_f64());
+        last = Some(stats);
+    }
+    let best = |v: &Vec<f64>| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let last = last.unwrap();
+    Measurement {
+        phase1_secs: best(&p1),
+        phase2_secs: best(&p2),
+        total_secs: best(&total),
+        groups: last.groups,
+        rows_in: last.rows_in,
+    }
+}
+
+/// Input rows per second over a phase duration (0 when the phase was too
+/// fast to time — tiny CI smoke runs).
+fn rate(rows: usize, secs: f64) -> f64 {
+    if secs > 0.0 {
+        rows as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    format!(
+        "{{\"phase1_secs\": {:.6}, \"phase2_secs\": {:.6}, \"total_secs\": {:.6}, \
+         \"phase1_rows_per_sec\": {:.1}, \"phase2_rows_per_sec\": {:.1}, \
+         \"rows_per_sec\": {:.1}, \"groups\": {}}}",
+        m.phase1_secs,
+        m.phase2_secs,
+        m.total_secs,
+        rate(m.rows_in, m.phase1_secs),
+        rate(m.rows_in, m.phase2_secs),
+        rate(m.rows_in, m.total_secs),
+        m.groups,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "agg_hotpath: {} rows, {} reps, {} threads",
+        args.rows, args.reps, args.threads
+    );
+    let workloads = [
+        thin_int(args.rows),
+        wide_multi_key(args.rows),
+        string_key(args.rows),
+    ];
+    let mut entries = Vec::new();
+    let header: Vec<String> = [
+        "workload",
+        "mode",
+        "phase1 Mrows/s",
+        "phase2 Mrows/s",
+        "speedup",
+    ]
+    .map(String::from)
+    .to_vec();
+    let mut table = Vec::new();
+    for w in &workloads {
+        let scalar = measure(w, KernelMode::Scalar, &args);
+        let vectorized = measure(w, KernelMode::Vectorized, &args);
+        assert_eq!(
+            scalar.groups, vectorized.groups,
+            "{}: modes disagree on group count",
+            w.name
+        );
+        let speedup = if vectorized.phase1_secs > 0.0 {
+            scalar.phase1_secs / vectorized.phase1_secs
+        } else {
+            0.0
+        };
+        for (mode, m) in [("scalar", &scalar), ("vectorized", &vectorized)] {
+            table.push(vec![
+                w.name.to_string(),
+                mode.to_string(),
+                format!("{:.1}", rate(m.rows_in, m.phase1_secs) / 1e6),
+                format!("{:.1}", rate(m.rows_in, m.phase2_secs) / 1e6),
+                if mode == "vectorized" {
+                    format!("{speedup:.2}x")
+                } else {
+                    "1.00x".to_string()
+                },
+            ]);
+        }
+        entries.push(format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"groups\": {}, \
+             \"scalar\": {}, \"vectorized\": {}, \"phase1_speedup\": {:.3}}}",
+            w.name,
+            scalar.rows_in,
+            scalar.groups,
+            json_measurement(&scalar),
+            json_measurement(&vectorized),
+            speedup,
+        ));
+    }
+    print_table(&header, &table);
+    let json = format!(
+        "{{\n  \"bench\": \"agg_hotpath\",\n  \"rows\": {},\n  \"reps\": {},\n  \
+         \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        args.rows,
+        args.reps,
+        args.threads,
+        entries.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_agg.json");
+    println!("wrote {}", args.out);
+}

@@ -47,6 +47,7 @@ fn main() {
         ht_capacity: 1 << 14,
         output_chunk_size: rexa_exec::VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
     let plan = grouping_plan(grouping, false);
     let row_width = plan_row_width(&plan, &lineitem_schema()).unwrap();

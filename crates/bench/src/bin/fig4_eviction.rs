@@ -78,6 +78,7 @@ fn main() {
                 ht_capacity: 1 << 14,
                 output_chunk_size: rexa_exec::VECTOR_SIZE,
                 reset_fill_percent: 66,
+                ..Default::default()
             };
             // Phase-1 floor only (rows = 0): connections must overlap.
             let floor = estimate_footprint(&config, run_args.page_size, 0, 0);

@@ -357,6 +357,7 @@ pub fn run_grouping(
                     ht_capacity: 1 << 14,
                     output_chunk_size: rexa_exec::VECTOR_SIZE,
                     reset_fill_percent: 66,
+                    ..Default::default()
                 };
                 let run =
                     hash_aggregate_streaming(&env.mgr, &source, &schema, &plan, &config, &|c| {

@@ -345,13 +345,16 @@ struct TableReader<'a> {
     source: &'a TableSource<'a>,
     /// Chunks deserialized from the current morsel, not yet handed out.
     ready: VecDeque<DataChunk>,
+    /// The chunk most recently lent out by [`ChunkReader::next`].
+    current: Option<DataChunk>,
 }
 
 impl ChunkReader for TableReader<'_> {
-    fn next(&mut self) -> Result<Option<DataChunk>> {
+    fn next(&mut self) -> Result<Option<&DataChunk>> {
         loop {
             if let Some(chunk) = self.ready.pop_front() {
-                return Ok(Some(chunk));
+                self.current = Some(chunk);
+                return Ok(self.current.as_ref());
             }
             if let Some(cancel) = &self.source.cancel {
                 cancel.check()?;
@@ -390,6 +393,7 @@ impl ChunkSource for TableSource<'_> {
         Box::new(TableReader {
             source: self,
             ready: VecDeque::new(),
+            current: None,
         })
     }
 

@@ -112,9 +112,9 @@ impl AggregateSpec {
     }
 }
 
-/// A validated aggregate: spec plus resolved argument type, state size, and
-/// output type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A validated aggregate: spec plus resolved argument type, state size,
+/// output type, and the monomorphized kernels of the vectorized hot path.
+#[derive(Debug, Clone, Copy)]
 pub struct BoundAggregate {
     /// The original spec.
     pub spec: AggregateSpec,
@@ -124,7 +124,25 @@ pub struct BoundAggregate {
     pub state_size: usize,
     /// The result type.
     pub output_type: LogicalType,
+    /// Selection-vector update/combine/finalize kernels, resolved once here
+    /// at bind time (see [`crate::kernel`]). The per-row functions below
+    /// remain the reference oracle.
+    pub kernels: crate::kernel::AggKernels,
 }
+
+// Equality on the *binding* only: the kernels are a pure function of
+// (spec, arg_type), and function-pointer addresses are not comparable
+// across codegen units anyway.
+impl PartialEq for BoundAggregate {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.arg_type == other.arg_type
+            && self.state_size == other.state_size
+            && self.output_type == other.output_type
+    }
+}
+
+impl Eq for BoundAggregate {}
 
 /// Validate an aggregate against the input schema.
 pub fn bind_aggregate(spec: AggregateSpec, schema: &[LogicalType]) -> Result<BoundAggregate> {
@@ -190,6 +208,7 @@ pub fn bind_aggregate(spec: AggregateSpec, schema: &[LogicalType]) -> Result<Bou
         arg_type,
         state_size,
         output_type,
+        kernels: crate::kernel::resolve(spec.kind, arg_type, output_type),
     })
 }
 

@@ -72,6 +72,21 @@ pub fn pending_ord(e: u64) -> usize {
     (e & (PENDING_FLAG - 1)) as usize
 }
 
+/// Best-effort prefetch of the cache line at `p` into L1 (no-op off
+/// x86_64). Probe and update loops issue these a fixed distance ahead so
+/// their random row accesses overlap instead of serializing.
+#[inline]
+pub fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no memory effects and tolerates any address.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(p as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// A fixed-capacity, linear-probing entry array.
 #[derive(Debug)]
 pub struct SaltedHashTable {
@@ -149,6 +164,22 @@ impl SaltedHashTable {
     pub fn entry(&self, slot: usize) -> u64 {
         // SAFETY: slot is always masked.
         unsafe { *self.entries.get_unchecked(slot) }
+    }
+
+    /// Prefetch the cache line holding `slot` into L1. Best-effort: a no-op
+    /// on architectures without a stable prefetch intrinsic. The selection-
+    /// vector probe issues these a fixed distance ahead so the random entry
+    /// loads of a whole round overlap instead of serializing.
+    #[inline]
+    pub fn prefetch(&self, slot: usize) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: slot is always masked; prefetch has no memory effects.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.entries.as_ptr().add(slot) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = slot;
     }
 
     /// Write the entry at `slot`; `occupy` bumps the count (set it when the

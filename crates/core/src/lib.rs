@@ -28,14 +28,16 @@ pub mod baselines;
 pub mod function;
 pub mod ht;
 pub mod join;
+pub mod kernel;
 pub mod operator;
 pub mod simple;
 pub mod ungrouped;
 
 pub use function::{AggKind, AggregateSpec, BoundAggregate};
 pub use join::{hash_join_collect, hash_join_streaming, HashJoinPlan, JoinConfig, JoinStats};
+pub use kernel::AggKernels;
 pub use operator::{
     hash_aggregate_collect, hash_aggregate_streaming, hash_aggregate_streaming_ctx, output_schema,
-    plan_row_width, AggregateConfig, HashAggregatePlan, RunStats,
+    plan_row_width, AggregateConfig, HashAggregatePlan, KernelMode, RunStats,
 };
 pub use ungrouped::ungrouped_aggregate;

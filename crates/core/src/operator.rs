@@ -26,7 +26,8 @@ use crate::function::{
     BoundAggregate,
 };
 use crate::ht::{
-    entry_ptr, is_pending, make_entry, make_pending, pending_ord, salt_bits, SaltedHashTable,
+    entry_ptr, is_pending, make_entry, make_pending, pending_ord, prefetch_read, salt_bits,
+    SaltedHashTable,
 };
 use parking_lot::Mutex;
 use rexa_buffer::{BufferManager, BufferStats};
@@ -34,7 +35,7 @@ use rexa_exec::pipeline::{parallel_for_ctx, ChunkSource, LocalSink, ParallelSink
 use rexa_exec::pool::ExecContext;
 use rexa_exec::vector::VectorData;
 use rexa_exec::{hashing, DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
-use rexa_layout::matcher::{row_row_match, rows_match};
+use rexa_layout::matcher::{row_row_match, row_row_match_sel, rows_match, rows_match_sel};
 use rexa_layout::{PartitionedTupleData, TupleDataCollection, TupleDataLayout};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -48,6 +49,23 @@ pub struct HashAggregatePlan {
     pub group_cols: Vec<usize>,
     /// The aggregates, in output order.
     pub aggregates: Vec<AggregateSpec>,
+}
+
+/// Which implementation of the aggregation hot path to run.
+///
+/// Both modes produce bit-identical results at `threads: 1` (the vectorized
+/// path preserves the scalar path's probe, update, and combine orders
+/// exactly); with more threads, floating-point results may differ across
+/// runs in *either* mode because partition combine order is scheduling-
+/// dependent. `Scalar` is retained as the reference oracle for differential
+/// tests and the baseline for `BENCH_agg.json` (see DESIGN.md S16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Selection-vector probing + monomorphized kernels (the default).
+    #[default]
+    Vectorized,
+    /// The original row-at-a-time interpreted path.
+    Scalar,
 }
 
 /// Tuning knobs of the operator.
@@ -68,6 +86,9 @@ pub struct AggregateConfig {
     /// experimentally determined value is two-thirds (66); exposed for the
     /// reset-threshold ablation benchmark.
     pub reset_fill_percent: u32,
+    /// Hot-path implementation (vectorized by default; scalar oracle for
+    /// differential testing and benchmarking).
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for AggregateConfig {
@@ -80,6 +101,7 @@ impl Default for AggregateConfig {
             ht_capacity: 1 << 17,
             output_chunk_size: VECTOR_SIZE,
             reset_fill_percent: 66,
+            kernel_mode: KernelMode::Vectorized,
         }
     }
 }
@@ -210,7 +232,12 @@ fn input_rows_equal(cols: &[&Vector], a: usize, b: usize) -> bool {
         let eq = match col.data() {
             VectorData::I32(v) => v[a] == v[b],
             VectorData::I64(v) => v[a] == v[b],
-            VectorData::F64(v) => v[a].to_bits() == v[b].to_bits(),
+            VectorData::F64(v) => {
+                // Bitwise (NaN groups with NaN), after key normalization so
+                // -0.0 and 0.0 land in one group like they do in the hash.
+                hashing::normalize_f64_key(v[a]).to_bits()
+                    == hashing::normalize_f64_key(v[b]).to_bits()
+            }
             VectorData::Str(v) => v.get(a) == v.get(b),
         };
         if !eq {
@@ -232,6 +259,68 @@ struct AggSink<'a> {
     resets: AtomicU64,
 }
 
+/// Reusable per-chunk scratch of a thread-local sink. Everything in here is
+/// dead between `sink` calls — the raw pointers are only meaningful while
+/// the chunk that produced them is being processed.
+#[derive(Default)]
+struct ProbeScratch {
+    /// Row pointers of the groups materialized from the current chunk.
+    new_ptrs: Vec<*mut u8>,
+    /// Current probe slot of each input row.
+    slots: Vec<usize>,
+    /// Rows still unresolved, ascending; shrinks every probe round.
+    remaining: Vec<u32>,
+    /// Next round's `remaining` (built by an ordered merge).
+    next_remaining: Vec<u32>,
+    /// Rows that advanced in stage 1 (empty/salt/pending handling).
+    stage1_fail: Vec<u32>,
+    /// Salt-matched candidates of the current round, parallel arrays.
+    cand_rows: Vec<u32>,
+    cand_ptrs: Vec<*const u8>,
+    /// `rows_match_sel` outputs (positions into the candidate arrays).
+    matched: Vec<u32>,
+    no_match: Vec<u32>,
+    /// Resolved row pointer per input row — written directly by the probe
+    /// (rows of new groups hold a [`PENDING_PTR_TAG`]ged ordinal until the
+    /// chunk materializes); the update kernels consume it as-is.
+    row_ptrs: Vec<*mut u8>,
+    /// Rows whose `row_ptrs` entry is a tagged ordinal to patch.
+    pending_rows: Vec<u32>,
+    /// Reused `&Vector` buffers (lifetimes are per-chunk; the vectors are
+    /// stored erased and only ever transmuted while *empty*).
+    group_views: Vec<&'static Vector>,
+    layout_views: Vec<&'static Vector>,
+}
+
+// SAFETY: the raw pointers never outlive one `sink` call and are never
+// shared across threads — the scratch exists purely so a thread-local sink
+// (which must be `Send` to move onto its worker) can reuse allocations.
+unsafe impl Send for ProbeScratch {}
+
+/// High-bit tag marking a `row_ptrs` slot that still holds a new-group
+/// ordinal instead of a row pointer (real pointers fit in 48 bits).
+const PENDING_PTR_TAG: u64 = 1 << 63;
+
+impl ProbeScratch {
+    /// Borrow the erased view buffer for this chunk's lifetime. Only sound
+    /// because the buffer is empty at hand-out and cleared at hand-back.
+    fn take_views<'v>(views: &mut Vec<&'static Vector>) -> Vec<&'v Vector> {
+        debug_assert!(views.is_empty());
+        // SAFETY: an empty Vec owns no references, only an allocation;
+        // shortening the reference lifetime of its element type is sound.
+        unsafe {
+            std::mem::transmute::<Vec<&'static Vector>, Vec<&'v Vector>>(std::mem::take(views))
+        }
+    }
+
+    /// Return a view buffer taken with [`Self::take_views`].
+    fn put_views(views: &mut Vec<&'static Vector>, mut buf: Vec<&Vector>) {
+        buf.clear();
+        // SAFETY: as above — the Vec is empty.
+        *views = unsafe { std::mem::transmute::<Vec<&Vector>, Vec<&'static Vector>>(buf) };
+    }
+}
+
 /// Thread-local phase-1 state.
 struct LocalAgg<'a> {
     sink: &'a AggSink<'a>,
@@ -243,6 +332,7 @@ struct LocalAgg<'a> {
     hashes: Vec<u64>,
     new_sel: Vec<u32>,
     pending_slots: Vec<usize>,
+    scratch: ProbeScratch,
     rows_in: usize,
     resets: u64,
 }
@@ -257,6 +347,7 @@ impl ParallelSink for AggSink<'_> {
             hashes: Vec::new(),
             new_sel: Vec::new(),
             pending_slots: Vec::new(),
+            scratch: ProbeScratch::default(),
             rows_in: 0,
             resets: 0,
         }))
@@ -269,30 +360,11 @@ impl LocalAgg<'_> {
     fn should_reset(&self) -> bool {
         self.ht.count() * 100 >= self.ht.capacity() * self.sink.config.reset_fill_percent as usize
     }
-}
 
-impl LocalSink for LocalAgg<'_> {
-    fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
+    /// Row-at-a-time probe (the reference oracle, `KernelMode::Scalar`):
+    /// resolve each input row fully before moving to the next.
+    fn probe_scalar(&mut self, group_views: &[&Vector], n: usize) {
         let plan = self.sink.plan;
-        let n = chunk.len();
-        if n == 0 {
-            return Ok(());
-        }
-        let group_views: Vec<&Vector> = plan.group_cols.iter().map(|&c| chunk.column(c)).collect();
-
-        // Hash the group columns once; the hash is materialized in the row
-        // and reused by phase 2.
-        self.hashes.clear();
-        self.hashes.resize(n, 0);
-        for (ci, col) in group_views.iter().enumerate() {
-            hashing::hash_vector(col, &mut self.hashes, ci > 0);
-        }
-
-        // Probe: resolve every input row to an existing row pointer or a
-        // pending new-group ordinal.
-        self.targets.clear();
-        self.new_sel.clear();
-        self.pending_slots.clear();
         for i in 0..n {
             let h = self.hashes[i];
             let mut slot = self.ht.slot(h);
@@ -311,7 +383,7 @@ impl LocalSink for LocalAgg<'_> {
                         // A group discovered earlier in this same chunk.
                         let ord = pending_ord(e);
                         let j = self.new_sel[ord] as usize;
-                        if input_rows_equal(&group_views, i, j) {
+                        if input_rows_equal(group_views, i, j) {
                             self.targets.push(e);
                             break;
                         }
@@ -319,7 +391,7 @@ impl LocalSink for LocalAgg<'_> {
                         let row = entry_ptr(e);
                         // SAFETY: rows referenced by live entries are on
                         // pages pinned since the last reset.
-                        if unsafe { rows_match(&plan.layout, &group_views, i, row) } {
+                        if unsafe { rows_match(&plan.layout, group_views, i, row) } {
                             self.targets.push(e);
                             break;
                         }
@@ -328,12 +400,247 @@ impl LocalSink for LocalAgg<'_> {
                 slot = self.ht.next_slot(slot);
             }
         }
+    }
+
+    /// Selection-vector probe: all rows advance through the table in
+    /// lockstep rounds, and the expensive full-key comparison of the
+    /// salt-matched candidates is batched by column ([`rows_match_sel`]).
+    /// Resolves every row directly into `scratch.row_ptrs` — rows claiming
+    /// a new group hold a [`PENDING_PTR_TAG`]ged ordinal (recorded in
+    /// `scratch.pending_rows`) until the chunk's new groups materialize.
+    ///
+    /// The `remaining` selection is kept in ascending row order across
+    /// rounds (ordered merge of the stage-1 advances and the key-compare
+    /// failures), which makes the claim order of new groups — and therefore
+    /// every downstream combine order — identical to [`Self::probe_scalar`]:
+    /// rows probing the same slot sequence stay sorted, so the earliest
+    /// occurrence of a key always claims its entry first, exactly like the
+    /// scalar loop that resolves row `i` before ever looking at row `i + 1`.
+    fn probe_vectorized(&mut self, group_views: &[&Vector], n: usize) {
+        let plan = self.sink.plan;
+        let s = &mut self.scratch;
+        s.slots.clear();
+        s.slots
+            .extend(self.hashes[..n].iter().map(|&h| self.ht.slot(h)));
+        // Every row's slot is overwritten exactly once by the probe below,
+        // so steady-state chunks reuse the buffer without re-zeroing it;
+        // only growth writes fresh nulls.
+        if s.row_ptrs.len() < n {
+            s.row_ptrs.resize(n, std::ptr::null_mut());
+        }
+        s.pending_rows.clear();
+        s.remaining.clear();
+        s.remaining.extend(0..n as u32);
+        // The dominant probe shape — a single NULL-free integer key — gets a
+        // fused loop that folds the key comparison into stage 1 and skips
+        // the candidate buffering entirely.
+        if let [col] = group_views {
+            if let VectorData::I64(keys) = col.data() {
+                if col.validity().no_nulls() {
+                    return self.probe_rounds_i64(keys);
+                }
+            }
+        }
+        while !s.remaining.is_empty() {
+            s.stage1_fail.clear();
+            s.cand_rows.clear();
+            s.cand_ptrs.clear();
+            // Stage 1: classify each unresolved row by its current entry.
+            // Cheap outcomes (empty claim, salt reject, in-chunk pending)
+            // are handled inline; salt-matched real entries become
+            // candidates for the batched key comparison. Entry loads are
+            // prefetched a fixed distance ahead: the table exceeds L1, and
+            // overlapping the random loads of a whole round is exactly the
+            // memory-level parallelism the row-at-a-time loop cannot get.
+            const PREFETCH_DIST: usize = 16;
+            for (idx, &r) in s.remaining.iter().enumerate() {
+                if let Some(&ahead) = s.remaining.get(idx + PREFETCH_DIST) {
+                    self.ht.prefetch(s.slots[ahead as usize]);
+                }
+                let i = r as usize;
+                let h = self.hashes[i];
+                let slot = s.slots[i];
+                let e = self.ht.entry(slot);
+                if e == 0 {
+                    let ord = self.new_sel.len();
+                    self.ht.set_entry(slot, make_pending(h, ord), true);
+                    self.pending_slots.push(slot);
+                    self.new_sel.push(r);
+                    s.row_ptrs[i] = (PENDING_PTR_TAG | ord as u64) as *mut u8;
+                    s.pending_rows.push(r);
+                    continue;
+                }
+                if salt_bits(e) == salt_bits(h) {
+                    if is_pending(e) {
+                        // Pending entries are rare (one per new group per
+                        // chunk) and need an input-vs-input comparison the
+                        // batched matcher cannot do — compare inline.
+                        let ord = pending_ord(e);
+                        let j = self.new_sel[ord] as usize;
+                        if input_rows_equal(group_views, i, j) {
+                            s.row_ptrs[i] = (PENDING_PTR_TAG | ord as u64) as *mut u8;
+                            s.pending_rows.push(r);
+                            continue;
+                        }
+                    } else {
+                        let row = entry_ptr(e);
+                        // Warm the row's key bytes for the stage-2 compare
+                        // (and the in-line aggregate states it shares a
+                        // cache line with on thin layouts).
+                        prefetch_read(row);
+                        s.cand_rows.push(r);
+                        s.cand_ptrs.push(row);
+                        continue;
+                    }
+                }
+                s.slots[i] = self.ht.next_slot(slot);
+                s.stage1_fail.push(r);
+            }
+            // Stage 2: one type dispatch per key column for all candidates.
+            // SAFETY: candidate pointers come from live entries, whose rows
+            // are on pages pinned since the last reset.
+            unsafe {
+                rows_match_sel(
+                    &plan.layout,
+                    group_views,
+                    &s.cand_rows,
+                    &s.cand_ptrs,
+                    &mut s.matched,
+                    &mut s.no_match,
+                );
+            }
+            for &p in &s.matched {
+                let i = s.cand_rows[p as usize] as usize;
+                s.row_ptrs[i] = s.cand_ptrs[p as usize] as *mut u8;
+            }
+            for &p in &s.no_match {
+                let i = s.cand_rows[p as usize] as usize;
+                s.slots[i] = self.ht.next_slot(s.slots[i]);
+            }
+            // Merge the two (each ascending) failure lists back into one
+            // ascending selection for the next round.
+            s.next_remaining.clear();
+            let (a, b) = (&s.stage1_fail, &s.no_match);
+            let (mut ai, mut bi) = (0, 0);
+            while ai < a.len() && bi < b.len() {
+                let br = s.cand_rows[b[bi] as usize];
+                if a[ai] < br {
+                    s.next_remaining.push(a[ai]);
+                    ai += 1;
+                } else {
+                    s.next_remaining.push(br);
+                    bi += 1;
+                }
+            }
+            s.next_remaining.extend_from_slice(&a[ai..]);
+            s.next_remaining
+                .extend(b[bi..].iter().map(|&p| s.cand_rows[p as usize]));
+            std::mem::swap(&mut s.remaining, &mut s.next_remaining);
+        }
+    }
+
+    /// [`Self::probe_vectorized`]'s round loop, fused for a single NULL-free
+    /// `i64` key column: the key comparison is one unaligned load, so it
+    /// runs inline in stage 1 instead of going through the candidate
+    /// buffers and the by-column matcher — no per-round compare pass, no
+    /// merge (the single failure list is already ascending, preserving the
+    /// claim-order equivalence with the scalar oracle).
+    ///
+    /// Expects the common probe state (`slots`, `row_ptrs`, `pending_rows`,
+    /// `remaining`) initialized by the caller. A materialized row can still
+    /// hold a NULL key (created from an earlier chunk *with* NULLs), so the
+    /// row side checks validity; the input side is NULL-free by contract.
+    fn probe_rounds_i64(&mut self, keys: &[i64]) {
+        let layout = &self.sink.plan.layout;
+        let key_off = layout.offset(0);
+        let s = &mut self.scratch;
+        while !s.remaining.is_empty() {
+            s.stage1_fail.clear();
+            const PREFETCH_DIST: usize = 16;
+            for (idx, &r) in s.remaining.iter().enumerate() {
+                if let Some(&ahead) = s.remaining.get(idx + PREFETCH_DIST) {
+                    self.ht.prefetch(s.slots[ahead as usize]);
+                }
+                let i = r as usize;
+                let h = self.hashes[i];
+                let slot = s.slots[i];
+                let e = self.ht.entry(slot);
+                if e == 0 {
+                    let ord = self.new_sel.len();
+                    self.ht.set_entry(slot, make_pending(h, ord), true);
+                    self.pending_slots.push(slot);
+                    self.new_sel.push(r);
+                    s.row_ptrs[i] = (PENDING_PTR_TAG | ord as u64) as *mut u8;
+                    s.pending_rows.push(r);
+                    continue;
+                }
+                if salt_bits(e) == salt_bits(h) {
+                    if is_pending(e) {
+                        let ord = pending_ord(e);
+                        let j = self.new_sel[ord] as usize;
+                        if keys[i] == keys[j] {
+                            s.row_ptrs[i] = (PENDING_PTR_TAG | ord as u64) as *mut u8;
+                            s.pending_rows.push(r);
+                            continue;
+                        }
+                    } else {
+                        let row = entry_ptr(e);
+                        // SAFETY: live entry → its row is on a page pinned
+                        // since the last reset; `key_off` is in-row.
+                        let hit = unsafe {
+                            layout.is_valid(row, 0)
+                                && std::ptr::read_unaligned(row.add(key_off) as *const i64)
+                                    == keys[i]
+                        };
+                        if hit {
+                            s.row_ptrs[i] = row;
+                            continue;
+                        }
+                    }
+                }
+                s.slots[i] = self.ht.next_slot(slot);
+                s.stage1_fail.push(r);
+            }
+            std::mem::swap(&mut s.remaining, &mut s.stage1_fail);
+        }
+    }
+}
+
+impl LocalSink for LocalAgg<'_> {
+    fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
+        let plan = self.sink.plan;
+        let mode = self.sink.config.kernel_mode;
+        let n = chunk.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut group_views = ProbeScratch::take_views(&mut self.scratch.group_views);
+        group_views.extend(plan.group_cols.iter().map(|&c| chunk.column(c)));
+
+        // Hash the group columns once; the hash is materialized in the row
+        // and reused by phase 2.
+        self.hashes.clear();
+        self.hashes.resize(n, 0);
+        for (ci, col) in group_views.iter().enumerate() {
+            hashing::hash_vector(col, &mut self.hashes, ci > 0);
+        }
+
+        // Probe: resolve every input row to an existing row pointer or a
+        // pending new-group ordinal.
+        self.targets.clear();
+        self.new_sel.clear();
+        self.pending_slots.clear();
+        match mode {
+            KernelMode::Scalar => self.probe_scalar(&group_views, n),
+            KernelMode::Vectorized => self.probe_vectorized(&group_views, n),
+        }
 
         // Materialize the new groups directly into radix partitions
         // (column-major -> row-major conversion happens here, once).
-        let mut new_ptrs: Vec<*mut u8> = Vec::with_capacity(self.new_sel.len());
+        self.scratch.new_ptrs.clear();
         if !self.new_sel.is_empty() {
-            let mut layout_views = group_views.clone();
+            let mut layout_views = ProbeScratch::take_views(&mut self.scratch.layout_views);
+            layout_views.extend_from_slice(&group_views);
             for &c in &plan.payload_args {
                 layout_views.push(chunk.column(c));
             }
@@ -341,28 +648,54 @@ impl LocalSink for LocalAgg<'_> {
                 &layout_views,
                 &self.hashes,
                 &self.new_sel,
-                Some(&mut new_ptrs),
+                Some(&mut self.scratch.new_ptrs),
             )?;
+            ProbeScratch::put_views(&mut self.scratch.layout_views, layout_views);
             // Patch pending entries to real row pointers.
             for (ord, &slot) in self.pending_slots.iter().enumerate() {
                 let h = self.hashes[self.new_sel[ord] as usize];
-                self.ht.set_entry(slot, make_entry(h, new_ptrs[ord]), false);
+                self.ht
+                    .set_entry(slot, make_entry(h, self.scratch.new_ptrs[ord]), false);
             }
         }
+        ProbeScratch::put_views(&mut self.scratch.group_views, group_views);
 
         // Update aggregate states for every input row.
-        for (sidx, agg) in plan.state_aggs.iter().enumerate() {
-            let arg = agg.spec.arg.map(|c| chunk.column(c));
-            let off = plan.layout.aggr_offset(sidx);
-            for i in 0..n {
-                let t = self.targets[i];
-                let row = if is_pending(t) {
-                    new_ptrs[pending_ord(t)]
-                } else {
-                    entry_ptr(t)
-                };
-                // SAFETY: row points into a pinned page; states are in-row.
-                unsafe { update_state(agg, row.add(off), arg, i) };
+        let s = &mut self.scratch;
+        match mode {
+            KernelMode::Scalar => {
+                for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                    let arg = agg.spec.arg.map(|c| chunk.column(c));
+                    let off = plan.layout.aggr_offset(sidx);
+                    for i in 0..n {
+                        let t = self.targets[i];
+                        let row = if is_pending(t) {
+                            s.new_ptrs[pending_ord(t)]
+                        } else {
+                            entry_ptr(t)
+                        };
+                        // SAFETY: row points into a pinned page; states are
+                        // in-row.
+                        unsafe { update_state(agg, row.add(off), arg, i) };
+                    }
+                }
+            }
+            KernelMode::Vectorized => {
+                // Patch the tagged new-group rows to their materialized
+                // pointers (O(new groups' occurrences), not O(n)), then one
+                // monomorphized kernel call per aggregate over the chunk.
+                for &r in &s.pending_rows {
+                    let i = r as usize;
+                    let ord = (s.row_ptrs[i] as u64 & !PENDING_PTR_TAG) as usize;
+                    s.row_ptrs[i] = s.new_ptrs[ord];
+                }
+                for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                    let arg = agg.spec.arg.map(|c| chunk.column(c));
+                    let off = plan.layout.aggr_offset(sidx);
+                    // SAFETY: every row pointer targets a row on a pinned
+                    // page with the aggregate's state at `off`.
+                    unsafe { (agg.kernels.update)(&s.row_ptrs[..n], off, arg) };
+                }
             }
         }
 
@@ -413,34 +746,157 @@ fn finalize_partition(
     let mut ht = SaltedHashTable::with_capacity_ctx(mgr, cap, ctx)?;
     let mut live: Vec<*mut u8> = Vec::new();
     let mut ptrs: Vec<*mut u8> = Vec::new();
-    for c in 0..part.chunk_count() {
-        ctx.check_cancelled()?;
-        ptrs.clear();
-        part.chunk_row_ptrs(&pins, c, &mut ptrs);
-        for &row in &ptrs {
-            // SAFETY: the partition is pinned and pointer-recomputed.
-            let h = unsafe { layout.read_hash(row) };
-            let mut slot = ht.slot(h);
-            loop {
-                let e = ht.entry(slot);
-                if e == 0 {
-                    ht.set_entry(slot, make_entry(h, row), true);
-                    live.push(row);
-                    break;
-                }
-                if salt_bits(e) == salt_bits(h) {
-                    let existing = entry_ptr(e);
-                    // SAFETY: both rows live on pinned pages.
-                    if unsafe { row_row_match(layout, plan.key_cols, existing, row) } {
-                        for (sidx, agg) in plan.state_aggs.iter().enumerate() {
-                            let off = layout.aggr_offset(sidx);
-                            // SAFETY: states are inside the rows.
-                            unsafe { combine_state(agg, row.add(off), existing.add(off)) };
+    match config.kernel_mode {
+        KernelMode::Scalar => {
+            for c in 0..part.chunk_count() {
+                ctx.check_cancelled()?;
+                ptrs.clear();
+                part.chunk_row_ptrs(&pins, c, &mut ptrs);
+                for &row in &ptrs {
+                    // SAFETY: the partition is pinned and pointer-recomputed.
+                    let h = unsafe { layout.read_hash(row) };
+                    let mut slot = ht.slot(h);
+                    loop {
+                        let e = ht.entry(slot);
+                        if e == 0 {
+                            ht.set_entry(slot, make_entry(h, row), true);
+                            live.push(row);
+                            break;
                         }
-                        break;
+                        if salt_bits(e) == salt_bits(h) {
+                            let existing = entry_ptr(e);
+                            // SAFETY: both rows live on pinned pages.
+                            if unsafe { row_row_match(layout, plan.key_cols, existing, row) } {
+                                for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                                    let off = layout.aggr_offset(sidx);
+                                    // SAFETY: states are inside the rows.
+                                    unsafe { combine_state(agg, row.add(off), existing.add(off)) };
+                                }
+                                break;
+                            }
+                        }
+                        slot = ht.next_slot(slot);
                     }
                 }
-                slot = ht.next_slot(slot);
+            }
+        }
+        KernelMode::Vectorized => {
+            // Selection-vector insertion: resolve every row of a chunk to
+            // its surviving group row first (claiming new entries along the
+            // way), then run one combine kernel per aggregate over the
+            // duplicates. Combines stay in chunk-row order, so per-group
+            // float results are bit-identical to the scalar loop.
+            let mut hashes: Vec<u64> = Vec::new();
+            let mut slots: Vec<usize> = Vec::new();
+            let mut targets: Vec<*mut u8> = Vec::new();
+            let mut remaining: Vec<u32> = Vec::new();
+            let mut next_remaining: Vec<u32> = Vec::new();
+            let mut stage1_fail: Vec<u32> = Vec::new();
+            let mut cand_rows: Vec<u32> = Vec::new();
+            let mut cand_existing: Vec<*const u8> = Vec::new();
+            let mut cand_new: Vec<*const u8> = Vec::new();
+            let mut matched: Vec<u32> = Vec::new();
+            let mut no_match: Vec<u32> = Vec::new();
+            let mut pairs: Vec<(*const u8, *mut u8)> = Vec::new();
+            let mut state_pairs: Vec<(*const u8, *mut u8)> = Vec::new();
+            for c in 0..part.chunk_count() {
+                ctx.check_cancelled()?;
+                ptrs.clear();
+                part.chunk_row_ptrs(&pins, c, &mut ptrs);
+                let m = ptrs.len();
+                // SAFETY: the partition is pinned and pointer-recomputed.
+                hashes.clear();
+                hashes.extend(ptrs.iter().map(|&row| unsafe { layout.read_hash(row) }));
+                slots.clear();
+                slots.extend(hashes.iter().map(|&h| ht.slot(h)));
+                targets.clear();
+                targets.resize(m, std::ptr::null_mut());
+                remaining.clear();
+                remaining.extend(0..m as u32);
+                while !remaining.is_empty() {
+                    stage1_fail.clear();
+                    cand_rows.clear();
+                    cand_existing.clear();
+                    cand_new.clear();
+                    for &r in &remaining {
+                        let i = r as usize;
+                        let row = ptrs[i];
+                        let h = hashes[i];
+                        let slot = slots[i];
+                        let e = ht.entry(slot);
+                        if e == 0 {
+                            ht.set_entry(slot, make_entry(h, row), true);
+                            live.push(row);
+                            targets[i] = row; // survives as its own group
+                            continue;
+                        }
+                        if salt_bits(e) == salt_bits(h) {
+                            cand_rows.push(r);
+                            cand_existing.push(entry_ptr(e));
+                            cand_new.push(row);
+                            continue;
+                        }
+                        slots[i] = ht.next_slot(slot);
+                        stage1_fail.push(r);
+                    }
+                    // SAFETY: all candidate rows live on pinned pages.
+                    unsafe {
+                        row_row_match_sel(
+                            layout,
+                            plan.key_cols,
+                            &cand_existing,
+                            &cand_new,
+                            &mut matched,
+                            &mut no_match,
+                        );
+                    }
+                    for &p in &matched {
+                        targets[cand_rows[p as usize] as usize] =
+                            cand_existing[p as usize] as *mut u8;
+                    }
+                    for &p in &no_match {
+                        let i = cand_rows[p as usize] as usize;
+                        slots[i] = ht.next_slot(slots[i]);
+                    }
+                    // Ordered merge keeps `remaining` ascending, mirroring
+                    // the phase-1 probe.
+                    next_remaining.clear();
+                    let (mut ai, mut bi) = (0, 0);
+                    while ai < stage1_fail.len() && bi < no_match.len() {
+                        let br = cand_rows[no_match[bi] as usize];
+                        if stage1_fail[ai] < br {
+                            next_remaining.push(stage1_fail[ai]);
+                            ai += 1;
+                        } else {
+                            next_remaining.push(br);
+                            bi += 1;
+                        }
+                    }
+                    next_remaining.extend_from_slice(&stage1_fail[ai..]);
+                    next_remaining.extend(no_match[bi..].iter().map(|&p| cand_rows[p as usize]));
+                    std::mem::swap(&mut remaining, &mut next_remaining);
+                }
+                // Combine duplicates into their surviving rows, in chunk-row
+                // order, one columnar kernel call per aggregate.
+                pairs.clear();
+                pairs.extend(
+                    ptrs.iter()
+                        .zip(&targets)
+                        .filter(|&(&row, &dst)| !std::ptr::eq(row, dst))
+                        .map(|(&row, &dst)| (row as *const u8, dst)),
+                );
+                if !pairs.is_empty() {
+                    for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                        let off = layout.aggr_offset(sidx);
+                        state_pairs.clear();
+                        state_pairs.extend(pairs.iter().map(|&(src, dst)| {
+                            // SAFETY: states are inside the rows.
+                            unsafe { (src.add(off), dst.add(off)) }
+                        }));
+                        // SAFETY: src/dst are distinct rows' states.
+                        unsafe { (agg.kernels.combine)(&state_pairs) };
+                    }
+                }
             }
         }
     }
@@ -458,13 +914,26 @@ fn finalize_partition(
                 OutSlot::State(s) => {
                     let agg = &plan.state_aggs[*s];
                     let off = layout.aggr_offset(*s);
-                    let mut col = Vector::empty(agg.output_type);
-                    for &row in batch {
-                        // SAFETY: as above.
-                        let v = unsafe { finalize_state(agg, row.add(off)) };
-                        col.push_value(&v)?;
+                    match config.kernel_mode {
+                        KernelMode::Scalar => {
+                            let mut col = Vector::empty(agg.output_type);
+                            for &row in batch {
+                                // SAFETY: as above.
+                                let v = unsafe { finalize_state(agg, row.add(off)) };
+                                col.push_value(&v)?;
+                            }
+                            columns.push(col);
+                        }
+                        KernelMode::Vectorized => {
+                            let states: Vec<*const u8> = batch
+                                .iter()
+                                .map(|&row| unsafe { row.add(off) as *const u8 })
+                                .collect();
+                            // SAFETY: as above; the kernel writes the output
+                            // vector directly, skipping boxed Values.
+                            columns.push(unsafe { (agg.kernels.finalize)(&states) });
+                        }
                     }
-                    columns.push(col);
                 }
             }
         }
@@ -673,6 +1142,7 @@ mod tests {
             ht_capacity: 4 * VECTOR_SIZE, // small: force frequent resets
             output_chunk_size: 512,
             reset_fill_percent: 66,
+            ..Default::default()
         }
     }
 
@@ -738,6 +1208,7 @@ mod tests {
             ht_capacity: 4 * VECTOR_SIZE,
             output_chunk_size: VECTOR_SIZE,
             reset_fill_percent: 66,
+            ..Default::default()
         };
         let source = CollectionSource::new(&coll);
         let err = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config)
@@ -884,6 +1355,7 @@ mod tests {
             ht_capacity: 4 * VECTOR_SIZE,
             output_chunk_size: VECTOR_SIZE,
             reset_fill_percent: 66,
+            ..Default::default()
         };
         let stats = check_against_reference(&coll, &plan, &config, &mgr);
         assert!(
@@ -914,6 +1386,7 @@ mod tests {
             ht_capacity: 4 * VECTOR_SIZE,
             output_chunk_size: VECTOR_SIZE,
             reset_fill_percent: 66,
+            ..Default::default()
         };
         let source = CollectionSource::new(&coll);
         let err = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap_err();
@@ -1048,5 +1521,288 @@ mod tests {
         let c = run(8);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    /// Exact (bitwise for floats) row equality. `Value`'s derived
+    /// `PartialEq` rejects `NaN == NaN`, so NaN-bearing results compare via
+    /// `total_cmp`, which is `Equal` iff the bits are.
+    fn assert_rows_bits_equal(got: &[Vec<Value>], want: &[Vec<Value>]) {
+        assert_eq!(got.len(), want.len(), "row count mismatch");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.len(), w.len());
+            for (a, b) in g.iter().zip(w) {
+                assert!(
+                    a.total_cmp(b) == std::cmp::Ordering::Equal,
+                    "value mismatch: {a:?} vs {b:?}\n got row {g:?}\nwant row {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_float_key_joins_zero_group() {
+        // -0.0 and 0.0 must form one group end to end — hashing, probe
+        // compares, pending-entry compares, and the materialized key bytes
+        // all normalize — and the surfaced key must be +0.0. NaN keys group
+        // bitwise (both rows use the same NAN constant here).
+        let mut coll = ChunkCollection::new(vec![LogicalType::Float64, LogicalType::Int64]);
+        coll.push(DataChunk::new(vec![
+            Vector::from_f64(vec![0.0, -0.0, 1.5, -0.0, 0.0, f64::NAN, f64::NAN]),
+            Vector::from_i64(vec![0, 1, 2, 3, 4, 5, 6]),
+        ]))
+        .unwrap();
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        for mode in [KernelMode::Vectorized, KernelMode::Scalar] {
+            let config = AggregateConfig {
+                kernel_mode: mode,
+                ..small_config(1)
+            };
+            let source = CollectionSource::new(&coll);
+            let (out, stats) =
+                hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+            assert_eq!(stats.groups, 3, "{mode:?}: zeros one group, NaNs one group");
+            let got = sorted_rows(out.chunks());
+            let source = CollectionSource::new(&coll);
+            let want =
+                reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates)
+                    .unwrap();
+            assert_rows_bits_equal(&got, &want);
+            let zero = got
+                .iter()
+                .find(|r| matches!(r[0], Value::Float64(f) if f == 0.0))
+                .unwrap();
+            assert!(
+                matches!(zero[0], Value::Float64(f) if f.to_bits() == 0),
+                "{mode:?}: key must materialize as +0.0, got {:?}",
+                zero[0]
+            );
+            assert_eq!(
+                zero[1],
+                Value::Int64(4),
+                "{mode:?}: count of the zero group"
+            );
+            assert_eq!(zero[2], Value::Int64(8), "{mode:?}: sum of the zero group");
+        }
+    }
+
+    #[test]
+    fn adversarial_shared_salt_keys() {
+        // 256 distinct i64 keys whose hashes all share one 16-bit salt:
+        // every probe collision among them survives the salt filter, so
+        // correctness rests entirely on the full key compares
+        // (`rows_match_sel` in phase 1, `row_row_match_sel` in phase 2).
+        // Filler keys keep the table filling up so probe chains are long.
+        let target = hashing::salt(hashing::hash_u64(0));
+        let mut colliders: Vec<i64> = vec![];
+        let mut k = 0i64;
+        while colliders.len() < 256 {
+            if hashing::salt(hashing::hash_u64(k as u64)) == target {
+                colliders.push(k);
+            }
+            k += 1;
+        }
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+        let mut filler = 1_000_000_000i64;
+        for _ in 0..4 {
+            // Half collider occurrences (duplicates within the chunk hit
+            // the pending path), half fresh filler groups; shuffled so the
+            // two interleave inside every selection vector.
+            let mut keys: Vec<i64> = vec![];
+            for _ in 0..4 {
+                keys.extend_from_slice(&colliders);
+            }
+            while keys.len() < VECTOR_SIZE {
+                keys.push(filler);
+                filler += 1;
+            }
+            for i in (1..keys.len()).rev() {
+                keys.swap(i, rng.gen_range(0..=i));
+            }
+            let vals: Vec<i64> = keys.iter().map(|v| v.wrapping_mul(7)).collect();
+            coll.push(DataChunk::new(vec![
+                Vector::from_i64(keys),
+                Vector::from_i64(vals),
+            ]))
+            .unwrap();
+        }
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![
+                AggregateSpec::count_star(),
+                AggregateSpec::sum(1),
+                AggregateSpec::min(1),
+            ],
+        };
+        for mode in [KernelMode::Vectorized, KernelMode::Scalar] {
+            for threads in [1, 4] {
+                let config = AggregateConfig {
+                    kernel_mode: mode,
+                    ..small_config(threads)
+                };
+                check_against_reference(&coll, &plan, &config, &mgr);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_wraps_past_table_end() {
+        // 64 distinct keys whose initial slot lands in the last 4 entries
+        // of the phase-1 table: their probe chains collide at the end of
+        // the entry array and must wrap around to slot 0. Duplicates within
+        // a chunk make pending entries wrap too.
+        let cap = 4 * VECTOR_SIZE; // small_config's ht_capacity
+        let mask = cap as u64 - 1;
+        let mut keys: Vec<i64> = vec![];
+        let mut k = 0i64;
+        while keys.len() < 64 {
+            if hashing::hash_u64(k as u64) & mask >= mask - 3 {
+                keys.push(k);
+            }
+            k += 1;
+        }
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+        for _ in 0..3 {
+            let mut ks: Vec<i64> = vec![];
+            while ks.len() + keys.len() <= VECTOR_SIZE {
+                ks.extend_from_slice(&keys);
+            }
+            let vals: Vec<i64> = ks.iter().map(|v| v.wrapping_mul(13)).collect();
+            coll.push(DataChunk::new(vec![
+                Vector::from_i64(ks),
+                Vector::from_i64(vals),
+            ]))
+            .unwrap();
+        }
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![
+                AggregateSpec::count_star(),
+                AggregateSpec::sum(1),
+                AggregateSpec::max(1),
+            ],
+        };
+        for mode in [KernelMode::Vectorized, KernelMode::Scalar] {
+            let config = AggregateConfig {
+                kernel_mode: mode,
+                ..small_config(1)
+            };
+            let stats = check_against_reference(&coll, &plan, &config, &mgr);
+            assert_eq!(stats.groups, 64, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_lands_exactly_on_reset_boundary() {
+        // reset_fill_percent: 50 with capacity 8192 puts the reset
+        // threshold at exactly 4096 occupied slots — two full chunks of
+        // unique keys. Every second chunk triggers a reset precisely at the
+        // boundary; a final chunk repeating earlier keys must rediscover
+        // them as fresh groups in the cleared table without double counting.
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+        let mut k = 0i64;
+        for _ in 0..6 {
+            let keys: Vec<i64> = (k..k + VECTOR_SIZE as i64).collect();
+            k += VECTOR_SIZE as i64;
+            let vals: Vec<i64> = keys.iter().map(|v| v * 3).collect();
+            coll.push(DataChunk::new(vec![
+                Vector::from_i64(keys),
+                Vector::from_i64(vals),
+            ]))
+            .unwrap();
+        }
+        let keys: Vec<i64> = (0..VECTOR_SIZE as i64).collect();
+        let vals: Vec<i64> = keys.iter().map(|v| v * 3).collect();
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(keys),
+            Vector::from_i64(vals),
+        ]))
+        .unwrap();
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        for mode in [KernelMode::Vectorized, KernelMode::Scalar] {
+            let config = AggregateConfig {
+                threads: 1,
+                radix_bits: Some(3),
+                ht_capacity: 4 * VECTOR_SIZE,
+                output_chunk_size: 512,
+                reset_fill_percent: 50,
+                kernel_mode: mode,
+            };
+            let stats = check_against_reference(&coll, &plan, &config, &mgr);
+            assert!(
+                stats.resets >= 2,
+                "{mode:?}: expected resets, got {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_and_vectorized_bit_identical_single_thread() {
+        // Float aggregates are order-sensitive; at threads: 1 the
+        // vectorized path must reproduce the scalar oracle bit for bit
+        // (same probe order, same update order, same phase-2 combine
+        // order), including NaN propagation and signed zeros.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Float64]);
+        for _ in 0..8 {
+            let keys: Vec<i64> = (0..VECTOR_SIZE).map(|_| rng.gen_range(0..200i64)).collect();
+            let vals: Vec<f64> = keys
+                .iter()
+                .map(|&k| match k % 7 {
+                    0 => f64::NAN,
+                    1 => -0.0,
+                    2 => k as f64 * 1e-3,
+                    3 => -(k as f64) * 1e15,
+                    _ => rng.gen::<f64>() * 100.0 - 50.0,
+                })
+                .collect();
+            let mut validity = rexa_exec::Validity::all_valid(VECTOR_SIZE);
+            for i in 0..VECTOR_SIZE {
+                if rng.gen_bool(0.2) {
+                    validity.set_invalid(i);
+                }
+            }
+            coll.push(DataChunk::new(vec![
+                Vector::from_i64(keys),
+                Vector::from_f64_validity(vals, validity),
+            ]))
+            .unwrap();
+        }
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![
+                AggregateSpec::count_star(),
+                AggregateSpec::sum(1),
+                AggregateSpec::avg(1),
+                AggregateSpec::min(1),
+                AggregateSpec::max(1),
+                AggregateSpec::var_samp(1),
+                AggregateSpec::stddev_samp(1),
+            ],
+        };
+        let run = |mode| {
+            let config = AggregateConfig {
+                kernel_mode: mode,
+                ..small_config(1)
+            };
+            let source = CollectionSource::new(&coll);
+            let (out, _) =
+                hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+            sorted_rows(out.chunks())
+        };
+        let scalar = run(KernelMode::Scalar);
+        let vectorized = run(KernelMode::Vectorized);
+        assert_rows_bits_equal(&vectorized, &scalar);
     }
 }

@@ -199,7 +199,15 @@ pub fn reference_aggregate(
             let key = KeyRow(
                 group_cols
                     .iter()
-                    .map(|&c| chunk.column(c).value(i))
+                    .map(|&c| match chunk.column(c).value(i) {
+                        // Same key normalization as the operator's hash and
+                        // matchers: -0.0 and 0.0 form one group (total_cmp,
+                        // which orders this BTreeMap, would split them).
+                        Value::Float64(f) => {
+                            Value::Float64(rexa_exec::hashing::normalize_f64_key(f))
+                        }
+                        v => v,
+                    })
                     .collect(),
             );
             let states = groups.entry(key).or_insert_with(|| {

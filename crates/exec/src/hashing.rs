@@ -99,6 +99,21 @@ pub fn hash_u64(v: u64) -> u64 {
     mix64(v)
 }
 
+/// Normalize a float *group key*: `-0.0` becomes `0.0` so the two equal
+/// values hash, compare, and materialize identically (one group). NaN bit
+/// patterns are preserved — NaN keys group bitwise, which keeps grouping
+/// total without imposing an order. Every place a float key is hashed,
+/// compared against a materialized row, or written into one must go through
+/// this function.
+#[inline]
+pub fn normalize_f64_key(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
 /// Hash every row of `col` into `hashes`. If `combine` is false the hashes
 /// are overwritten (first group column); otherwise they are combined with the
 /// existing values (subsequent group columns).
@@ -142,9 +157,7 @@ pub fn hash_vector(col: &Vector, hashes: &mut [u64], combine: bool) {
         VectorData::F64(vals) => {
             go!(vals.iter().enumerate().map(|(i, &v)| {
                 let h = if validity.is_valid(i) {
-                    // Normalize -0.0 to 0.0 so equal keys hash equally.
-                    let v = if v == 0.0 { 0.0 } else { v };
-                    hash_u64(v.to_bits())
+                    hash_u64(normalize_f64_key(v).to_bits())
                 } else {
                     NULL_HASH
                 };

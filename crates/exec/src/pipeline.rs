@@ -37,8 +37,11 @@ pub trait ChunkSource: Send + Sync {
 /// A per-thread cursor over a [`ChunkSource`].
 pub trait ChunkReader: Send {
     /// The next chunk assigned to this thread, or `None` when the source is
-    /// exhausted.
-    fn next(&mut self) -> Result<Option<DataChunk>>;
+    /// exhausted. The reference is valid until the next call: in-memory
+    /// sources hand out borrows of their stored chunks, so a scan never
+    /// deep-copies vectors (readers that materialize chunks park the
+    /// current one internally and lend it out).
+    fn next(&mut self) -> Result<Option<&DataChunk>>;
 }
 
 /// The shared side of a pipeline-breaking operator.
@@ -125,7 +128,7 @@ struct CollectionReader<'a> {
 }
 
 impl ChunkReader for CollectionReader<'_> {
-    fn next(&mut self) -> Result<Option<DataChunk>> {
+    fn next(&mut self) -> Result<Option<&DataChunk>> {
         if let Some(cancel) = &self.source.cancel {
             cancel.check()?;
         }
@@ -142,7 +145,7 @@ impl ChunkReader for CollectionReader<'_> {
             self.pos = start;
             self.end = (start + MORSEL_CHUNKS).min(n);
         }
-        let chunk = self.source.collection.chunks()[self.pos].clone();
+        let chunk = &self.source.collection.chunks()[self.pos];
         self.pos += 1;
         Ok(Some(chunk))
     }
@@ -193,7 +196,7 @@ impl Pipeline {
             let mut local = sink.local()?;
             while let Some(chunk) = reader.next()? {
                 ctx.check_cancelled()?;
-                local.sink(&chunk)?;
+                local.sink(chunk)?;
             }
             local.combine()
         };

@@ -163,6 +163,47 @@ impl Vector {
         }
     }
 
+    /// Build from 32-bit integers with an explicit validity mask (vectorized
+    /// kernel output; invalid rows carry an arbitrary placeholder value).
+    pub fn from_i32_validity(vals: Vec<i32>, validity: Validity) -> Self {
+        assert_eq!(vals.len(), validity.len());
+        Vector {
+            ty: LogicalType::Int32,
+            data: VectorData::I32(vals),
+            validity,
+        }
+    }
+
+    /// Build a date vector with an explicit validity mask.
+    pub fn from_dates_validity(vals: Vec<i32>, validity: Validity) -> Self {
+        assert_eq!(vals.len(), validity.len());
+        Vector {
+            ty: LogicalType::Date,
+            data: VectorData::I32(vals),
+            validity,
+        }
+    }
+
+    /// Build from 64-bit integers with an explicit validity mask.
+    pub fn from_i64_validity(vals: Vec<i64>, validity: Validity) -> Self {
+        assert_eq!(vals.len(), validity.len());
+        Vector {
+            ty: LogicalType::Int64,
+            data: VectorData::I64(vals),
+            validity,
+        }
+    }
+
+    /// Build from 64-bit floats with an explicit validity mask.
+    pub fn from_f64_validity(vals: Vec<f64>, validity: Validity) -> Self {
+        assert_eq!(vals.len(), validity.len());
+        Vector {
+            ty: LogicalType::Float64,
+            data: VectorData::F64(vals),
+            validity,
+        }
+    }
+
     /// Build from owned [`Value`]s of a declared type; `Value::Null` entries
     /// become NULLs.
     pub fn from_values(ty: LogicalType, vals: &[Value]) -> Result<Self> {

@@ -373,7 +373,13 @@ impl TupleDataCollection {
                 }
                 VectorData::F64(v) => std::ptr::write_unaligned(
                     dst as *mut f64,
-                    if valid { v[input_row] } else { 0.0 },
+                    if valid {
+                        // Keys must materialize in normalized form (-0.0 ->
+                        // 0.0) so bitwise row comparisons agree with hashing.
+                        rexa_exec::hashing::normalize_f64_key(v[input_row])
+                    } else {
+                        0.0
+                    },
                 ),
                 VectorData::Str(v) => {
                     let s = if valid {

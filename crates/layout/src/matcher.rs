@@ -4,6 +4,7 @@
 
 use crate::row_layout::TupleDataLayout;
 use crate::string::RexaString;
+use rexa_exec::hashing::normalize_f64_key;
 use rexa_exec::vector::VectorData;
 use rexa_exec::Vector;
 
@@ -34,9 +35,11 @@ pub unsafe fn rows_match(
             VectorData::I32(v) => std::ptr::read_unaligned(slot as *const i32) == v[input_row],
             VectorData::I64(v) => std::ptr::read_unaligned(slot as *const i64) == v[input_row],
             VectorData::F64(v) => {
-                // Bitwise comparison: groups were materialized from the same
-                // domain, and NaN != NaN must still form one group.
-                std::ptr::read_unaligned(slot as *const u64) == v[input_row].to_bits()
+                // Bitwise comparison: NaN != NaN must still form one group.
+                // The input value is key-normalized (-0.0 -> 0.0) because
+                // materialized rows only ever contain the normalized form.
+                std::ptr::read_unaligned(slot as *const u64)
+                    == normalize_f64_key(v[input_row]).to_bits()
             }
             VectorData::Str(v) => RexaString::read_from(slot).eq_bytes(v.get(input_row).as_bytes()),
         };
@@ -45,6 +48,159 @@ pub unsafe fn rows_match(
         }
     }
     true
+}
+
+/// Selection-vector form of [`rows_match`]: compare a *batch* of candidate
+/// (input row, materialized row) pairs, grouped **by column** so the type
+/// dispatch happens once per column per call instead of once per row.
+///
+/// `input_rows[p]` / `row_ptrs[p]` describe candidate `p`. On return,
+/// `matched` holds the positions `p` whose pairs agree on every group-key
+/// column and `no_match` the positions that differ; both preserve the input
+/// order, and `matched.len() + no_match.len() == input_rows.len()`. The
+/// vectors are cleared on entry (caller-owned scratch).
+///
+/// # Safety
+/// Every pointer in `row_ptrs` must address a live row of `layout` whose
+/// pages (row and heap) are pinned and pointer-recomputed.
+pub unsafe fn rows_match_sel(
+    layout: &TupleDataLayout,
+    cols: &[&Vector],
+    input_rows: &[u32],
+    row_ptrs: &[*const u8],
+    matched: &mut Vec<u32>,
+    no_match: &mut Vec<u32>,
+) {
+    debug_assert_eq!(input_rows.len(), row_ptrs.len());
+    matched.clear();
+    no_match.clear();
+    matched.extend(0..input_rows.len() as u32);
+    for (c, col) in cols.iter().enumerate() {
+        if matched.is_empty() {
+            break;
+        }
+        let off = layout.offset(c);
+        let validity = col.validity();
+        // One shrinking pass over the still-matching candidates: compact the
+        // survivors in place, spill the failures to `no_match`.
+        let mut keep = 0usize;
+        macro_rules! compact {
+            (|$i:ident, $slot:ident| $eq:expr) => {
+                for k in 0..matched.len() {
+                    let p = matched[k];
+                    let $i = input_rows[p as usize] as usize;
+                    let row = row_ptrs[p as usize];
+                    let input_valid = validity.is_valid($i);
+                    let ok = if input_valid != layout.is_valid(row, c) {
+                        false
+                    } else if !input_valid {
+                        true // NULL == NULL for grouping
+                    } else {
+                        let $slot = row.add(off);
+                        $eq
+                    };
+                    if ok {
+                        matched[keep] = p;
+                        keep += 1;
+                    } else {
+                        no_match.push(p);
+                    }
+                }
+            };
+        }
+        match col.data() {
+            VectorData::I32(v) => {
+                compact!(|i, slot| std::ptr::read_unaligned(slot as *const i32) == v[i]);
+            }
+            VectorData::I64(v) => {
+                compact!(|i, slot| std::ptr::read_unaligned(slot as *const i64) == v[i]);
+            }
+            VectorData::F64(v) => {
+                compact!(|i, slot| std::ptr::read_unaligned(slot as *const u64)
+                    == normalize_f64_key(v[i]).to_bits());
+            }
+            VectorData::Str(v) => {
+                compact!(|i, slot| RexaString::read_from(slot).eq_bytes(v.get(i).as_bytes()));
+            }
+        }
+        matched.truncate(keep);
+    }
+    // Failures were appended column by column, scrambling the original
+    // order; restore it so callers can keep their probe selections ordered
+    // (ordered selections make the vectorized operator's combine order — and
+    // therefore its float results — identical to the scalar oracle's).
+    no_match.sort_unstable();
+}
+
+/// Selection-vector form of [`row_row_match`]: compare a batch of candidate
+/// (row, row) pairs on the first `key_cols` columns, grouped by column.
+/// Contract mirrors [`rows_match_sel`]: `matched` and `no_match` receive the
+/// positions of agreeing / differing pairs, in order.
+///
+/// # Safety
+/// Every pointer in `a_ptrs` and `b_ptrs` must address live rows of
+/// `layout`, pinned and pointer-recomputed.
+pub unsafe fn row_row_match_sel(
+    layout: &TupleDataLayout,
+    key_cols: usize,
+    a_ptrs: &[*const u8],
+    b_ptrs: &[*const u8],
+    matched: &mut Vec<u32>,
+    no_match: &mut Vec<u32>,
+) {
+    debug_assert_eq!(a_ptrs.len(), b_ptrs.len());
+    matched.clear();
+    no_match.clear();
+    matched.extend(0..a_ptrs.len() as u32);
+    for c in 0..key_cols {
+        if matched.is_empty() {
+            break;
+        }
+        let off = layout.offset(c);
+        let ty = layout.types()[c];
+        let mut keep = 0usize;
+        macro_rules! compact {
+            (|$sa:ident, $sb:ident| $eq:expr) => {
+                for k in 0..matched.len() {
+                    let p = matched[k];
+                    let a = a_ptrs[p as usize];
+                    let b = b_ptrs[p as usize];
+                    let av = layout.is_valid(a, c);
+                    let ok = if av != layout.is_valid(b, c) {
+                        false
+                    } else if !av {
+                        true
+                    } else {
+                        let $sa = a.add(off);
+                        let $sb = b.add(off);
+                        $eq
+                    };
+                    if ok {
+                        matched[keep] = p;
+                        keep += 1;
+                    } else {
+                        no_match.push(p);
+                    }
+                }
+            };
+        }
+        match ty {
+            rexa_exec::LogicalType::Int32 | rexa_exec::LogicalType::Date => {
+                compact!(|sa, sb| std::ptr::read_unaligned(sa as *const i32)
+                    == std::ptr::read_unaligned(sb as *const i32));
+            }
+            rexa_exec::LogicalType::Int64 | rexa_exec::LogicalType::Float64 => {
+                compact!(|sa, sb| std::ptr::read_unaligned(sa as *const u64)
+                    == std::ptr::read_unaligned(sb as *const u64));
+            }
+            rexa_exec::LogicalType::Varchar => {
+                compact!(|sa, sb| RexaString::read_from(sa)
+                    .eq_bytes(RexaString::read_from(sb).as_bytes()));
+            }
+        }
+        matched.truncate(keep);
+    }
+    no_match.sort_unstable();
 }
 
 /// Compare the first `key_cols` columns of two materialized rows (used in

@@ -57,6 +57,7 @@ fn main() -> rexa_exec::Result<()> {
         ht_capacity: 1 << 14,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
 
     // Robust engine: streams all groups, spilling as needed.

@@ -226,6 +226,7 @@ proptest! {
             ht_capacity: 4 * VECTOR_SIZE,
             output_chunk_size: VECTOR_SIZE,
             reset_fill_percent: 66,
+        ..Default::default()
         };
         let plan = plan();
         let source = CollectionSource::new(&coll);
@@ -304,6 +305,7 @@ fn total_enospc_on_spill_writes_fails_spilling_queries_typed() {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
     // All-distinct keys: the working set is several MiB, so the query MUST
     // spill, and the very first spill write hits ENOSPC.
@@ -377,6 +379,7 @@ fn torn_spill_writes_never_corrupt_results() {
             ht_capacity: 4 * VECTOR_SIZE,
             output_chunk_size: VECTOR_SIZE,
             reset_fill_percent: 66,
+            ..Default::default()
         };
         let rows: Vec<Vec<Value>> = (0..20_000)
             .map(|i| vec![Value::Int64(i % 5000), Value::Int64(i)])

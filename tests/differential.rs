@@ -9,7 +9,9 @@ use proptest::prelude::*;
 use rexa_buffer::{BufferManager, BufferManagerConfig};
 use rexa_core::baselines::sort_aggregate;
 use rexa_core::simple::{reference_aggregate, sorted_rows};
-use rexa_core::{hash_aggregate_collect, AggregateConfig, AggregateSpec, HashAggregatePlan};
+use rexa_core::{
+    hash_aggregate_collect, AggregateConfig, AggregateSpec, HashAggregatePlan, KernelMode,
+};
 use rexa_exec::pipeline::{CancelToken, CollectionSource};
 use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Value, VECTOR_SIZE};
 use rexa_storage::scratch_dir;
@@ -155,6 +157,19 @@ fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
     })
 }
 
+/// Exact equality including float bits (`total_cmp` is `Equal` iff the bit
+/// patterns are), unlike the tolerance-based [`rows_approx_eq`].
+fn rows_bits_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra
+                    .iter()
+                    .zip(rb)
+                    .all(|(va, vb)| va.total_cmp(vb) == std::cmp::Ordering::Equal)
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -178,6 +193,7 @@ proptest! {
             ht_capacity: 4 * VECTOR_SIZE,
             output_chunk_size: 777, // deliberately odd
             reset_fill_percent: 66,
+        ..Default::default()
         };
         let source = CollectionSource::new(&coll);
         let result = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config);
@@ -201,6 +217,63 @@ proptest! {
             }
             Err(e) => prop_assert!(false, "unexpected error: {e}"),
         }
+    }
+
+    /// The monomorphized kernels + selection-vector probe (the default
+    /// `Vectorized` mode) must be *bit-identical* to the retained scalar
+    /// oracle at `threads: 1` — same groups, same probe/claim order, same
+    /// float summation order — across every aggregate kind (including the
+    /// Welford variance kernels), NULL-heavy inputs, and chunks full of
+    /// within-chunk duplicates.
+    #[test]
+    fn vectorized_kernels_bit_identical_to_scalar_oracle(case in case_strategy()) {
+        let coll = build_collection(&case);
+        let mut aggregates = aggregates_for(&case);
+        if let Some(arg) = (0..case.types.len()).find(|c| {
+            !case.group_cols.contains(c)
+                && matches!(
+                    case.types[*c],
+                    LogicalType::Int32 | LogicalType::Int64 | LogicalType::Float64
+                )
+        }) {
+            aggregates.push(AggregateSpec::var_samp(arg));
+            aggregates.push(AggregateSpec::stddev_samp(arg));
+        }
+        let plan = HashAggregatePlan {
+            group_cols: case.group_cols.clone(),
+            aggregates,
+        };
+        // Generous limit: mode must not change behaviour, and OOM aborts
+        // would make the comparison vacuous.
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(64 << 20)
+                .page_size(4 << 10)
+                .temp_dir(scratch_dir("propk").unwrap()),
+        )
+        .unwrap();
+        let run = |mode: KernelMode| {
+            let config = AggregateConfig {
+                threads: 1,
+                radix_bits: Some(case.radix_bits),
+                ht_capacity: 4 * VECTOR_SIZE,
+                output_chunk_size: 777,
+                reset_fill_percent: 66,
+                kernel_mode: mode,
+            };
+            let source = CollectionSource::new(&coll);
+            let (out, stats) =
+                hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+            (sorted_rows(out.chunks()), stats.groups)
+        };
+        let (scalar, scalar_groups) = run(KernelMode::Scalar);
+        let (vectorized, vectorized_groups) = run(KernelMode::Vectorized);
+        prop_assert_eq!(scalar_groups, vectorized_groups);
+        prop_assert!(
+            rows_bits_eq(&vectorized, &scalar),
+            "vectorized result diverges from scalar oracle: {} vs {} rows",
+            vectorized.len(),
+            scalar.len()
+        );
     }
 
     #[test]
@@ -271,6 +344,7 @@ fn operator_is_deterministic_under_odd_geometry() {
             ht_capacity: 4 * VECTOR_SIZE,
             output_chunk_size: 1000,
             reset_fill_percent: 66,
+            ..Default::default()
         };
         let source = CollectionSource::new(&coll);
         let (out, _) = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();

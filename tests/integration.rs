@@ -41,6 +41,7 @@ fn config(threads: usize, radix_bits: u32) -> AggregateConfig {
         ht_capacity: 1 << 13,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     }
 }
 

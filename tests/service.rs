@@ -64,6 +64,7 @@ fn grouping_config() -> AggregateConfig {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     }
 }
 

@@ -27,6 +27,7 @@ fn config() -> AggregateConfig {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     }
 }
 

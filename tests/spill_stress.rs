@@ -54,6 +54,7 @@ fn repeated_tight_memory_runs_stay_exact() {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
     let source = CollectionSource::new(&coll);
     let want =
@@ -91,6 +92,7 @@ fn concurrent_queries_share_one_pool() {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
     let results: Vec<Vec<Vec<rexa_exec::Value>>> = std::thread::scope(|s| {
         let handles: Vec<_> = inputs
@@ -149,6 +151,7 @@ fn spill_io_failure_surfaces_as_error_not_corruption() {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
     let source = CollectionSource::new(&coll);
     let err = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap_err();
@@ -174,6 +177,7 @@ fn many_small_queries_do_not_fragment_accounting() {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
     for i in 0..50 {
         let mut coll = ChunkCollection::new(vec![LogicalType::Int64]);
@@ -212,6 +216,7 @@ fn oversized_strings_spill_to_variable_pages() {
         ht_capacity: 4 * VECTOR_SIZE,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        ..Default::default()
     };
     let results = Mutex::new(Vec::<DataChunk>::new());
     let source = CollectionSource::new(&coll);
