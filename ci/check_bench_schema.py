@@ -21,6 +21,21 @@ MEASUREMENT_KEYS = {
     "phase2_rows_per_sec": float,
     "rows_per_sec": float,
     "groups": int,
+    "profile": dict,
+}
+
+# The execution profile nested under each measurement, taken from the last
+# rep's QueryProfile (rexa-obs).
+PROFILE_KEYS = {
+    "probe_busy_secs": float,
+    "merge_busy_secs": float,
+    "finalize_busy_secs": float,
+    "ht_resets": int,
+    "partitions": int,
+    "partitions_external": int,
+    "spill_bytes_written": int,
+    "spill_bytes_read": int,
+    "evictions": int,
 }
 
 EXPECTED_WORKLOADS = ["thin_int", "wide_multi_key", "string_key"]
@@ -31,13 +46,17 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_measurement(m, where):
+def check_keys(m, keys, where):
     if not isinstance(m, dict):
         fail(f"{where}: expected object, got {type(m).__name__}")
-    for key, ty in MEASUREMENT_KEYS.items():
+    for key, ty in keys.items():
         if key not in m:
             fail(f"{where}: missing key {key!r}")
         v = m[key]
+        if ty is dict:
+            if not isinstance(v, dict):
+                fail(f"{where}.{key}: expected object, got {type(v).__name__}")
+            continue
         # ints are acceptable where floats are expected (JSON "0").
         if ty is float and not isinstance(v, (int, float)):
             fail(f"{where}.{key}: expected number, got {type(v).__name__}")
@@ -45,9 +64,14 @@ def check_measurement(m, where):
             fail(f"{where}.{key}: expected integer, got {type(v).__name__}")
         if v < 0:
             fail(f"{where}.{key}: negative value {v}")
-    extra = set(m) - set(MEASUREMENT_KEYS)
+    extra = set(m) - set(keys)
     if extra:
         fail(f"{where}: unexpected keys {sorted(extra)}")
+
+
+def check_measurement(m, where):
+    check_keys(m, MEASUREMENT_KEYS, where)
+    check_keys(m["profile"], PROFILE_KEYS, f"{where}.profile")
 
 
 def main():

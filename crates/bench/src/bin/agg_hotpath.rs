@@ -182,12 +182,16 @@ fn string_key(rows: usize) -> Workload {
 /// One mode's best-of-`reps` timings (minimum wall time per phase; the
 /// minimum is the standard noise-robust estimator for throughput
 /// micro-benchmarks — everything above it is scheduling interference).
+/// Carries the last rep's [`QueryProfile`] so the JSON exposes the
+/// execution profile (busy time, resets, spill I/O) behind the headline
+/// rates.
 struct Measurement {
     phase1_secs: f64,
     phase2_secs: f64,
     total_secs: f64,
     groups: usize,
     rows_in: usize,
+    profile: rexa_obs::QueryProfile,
 }
 
 fn measure(w: &Workload, mode: KernelMode, args: &Args) -> Measurement {
@@ -228,6 +232,7 @@ fn measure(w: &Workload, mode: KernelMode, args: &Args) -> Measurement {
         total_secs: best(&total),
         groups: last.groups,
         rows_in: last.rows_in,
+        profile: last.profile,
     }
 }
 
@@ -242,10 +247,16 @@ fn rate(rows: usize, secs: f64) -> f64 {
 }
 
 fn json_measurement(m: &Measurement) -> String {
+    let p = &m.profile;
+    let phase = |ph: rexa_obs::Phase| &p.phases[ph.index()];
     format!(
         "{{\"phase1_secs\": {:.6}, \"phase2_secs\": {:.6}, \"total_secs\": {:.6}, \
          \"phase1_rows_per_sec\": {:.1}, \"phase2_rows_per_sec\": {:.1}, \
-         \"rows_per_sec\": {:.1}, \"groups\": {}}}",
+         \"rows_per_sec\": {:.1}, \"groups\": {}, \
+         \"profile\": {{\"probe_busy_secs\": {:.6}, \"merge_busy_secs\": {:.6}, \
+         \"finalize_busy_secs\": {:.6}, \"ht_resets\": {}, \"partitions\": {}, \
+         \"partitions_external\": {}, \"spill_bytes_written\": {}, \
+         \"spill_bytes_read\": {}, \"evictions\": {}}}}}",
         m.phase1_secs,
         m.phase2_secs,
         m.total_secs,
@@ -253,6 +264,15 @@ fn json_measurement(m: &Measurement) -> String {
         rate(m.rows_in, m.phase2_secs),
         rate(m.rows_in, m.total_secs),
         m.groups,
+        phase(rexa_obs::Phase::Probe).busy.as_secs_f64(),
+        phase(rexa_obs::Phase::Merge).busy.as_secs_f64(),
+        phase(rexa_obs::Phase::Finalize).busy.as_secs_f64(),
+        p.ht_resets,
+        p.partitions,
+        p.partitions_external,
+        p.spill_bytes_written,
+        p.spill_bytes_read,
+        p.evictions,
     )
 }
 

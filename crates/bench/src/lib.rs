@@ -219,8 +219,9 @@ pub enum Outcome {
         secs: f64,
         /// Groups produced.
         groups: usize,
-        /// Robust-engine stats (last rep).
-        stats: Option<RunStats>,
+        /// Robust-engine stats (last rep), boxed: [`RunStats`] carries a
+        /// full [`rexa_obs::QueryProfile`] and would dominate the enum size.
+        stats: Option<Box<RunStats>>,
     },
     /// Aborted with out-of-memory (the paper's 'A').
     Aborted,
@@ -363,7 +364,7 @@ pub fn run_grouping(
                     hash_aggregate_streaming(&env.mgr, &source, &schema, &plan, &config, &|c| {
                         consumer.consume(c)
                     })?;
-                stats = Some(run.clone());
+                stats = Some(Box::new(run.clone()));
                 Ok(run.groups)
             }
             SystemKind::InMemory => {

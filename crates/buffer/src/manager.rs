@@ -6,6 +6,7 @@ use crate::raw::RawBuffer;
 use crate::stats::BufferStats;
 use parking_lot::Mutex;
 use rexa_exec::{Error, Result};
+use rexa_obs::{Counter, EventTrace, MetricsRegistry, TraceEventKind};
 use rexa_storage::{BlockId, DatabaseFile, IoBackend, StdIo, TempFileManager, DEFAULT_PAGE_SIZE};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -38,6 +39,14 @@ pub struct BufferManagerConfig {
     /// Backoff before the first spill retry; doubles per retry (capped at
     /// 8×). Default: 1 ms.
     pub spill_backoff: Duration,
+    /// Metrics registry the manager's counters are registered on. `None`
+    /// (the default) creates a fresh private registry; a query service
+    /// shares one registry across managers and its own counters so a
+    /// single Prometheus scrape sees everything.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Event trace for slow-path forensics (spills, evictions,
+    /// retry/backoff, degradation decisions). `None` disables tracing.
+    pub trace: Option<EventTrace>,
 }
 
 impl BufferManagerConfig {
@@ -52,6 +61,8 @@ impl BufferManagerConfig {
             io_backend: Arc::new(StdIo),
             spill_retries: 3,
             spill_backoff: Duration::from_millis(1),
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -90,31 +101,149 @@ impl BufferManagerConfig {
         self.spill_backoff = backoff;
         self
     }
+
+    /// Builder-style: register the manager's counters on a shared registry.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Builder-style: record slow-path events (spill, eviction, retry,
+    /// degradation) into `trace`.
+    pub fn trace(mut self, trace: EventTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
-#[derive(Debug, Default)]
+/// The manager's monotone event counters, registry-backed: the registry is
+/// the single source of truth, and [`BufferStats`] is a façade over it.
+#[derive(Debug)]
 struct Counters {
-    evictions_persistent: AtomicU64,
-    evictions_temporary: AtomicU64,
-    buffer_reuses: AtomicU64,
-    allocations: AtomicU64,
-    spill_retries: AtomicU64,
-    spill_failures: AtomicU64,
+    evictions_persistent: Counter,
+    evictions_temporary: Counter,
+    buffer_reuses: Counter,
+    allocations: Counter,
+    spill_retries: Counter,
+    spill_failures: Counter,
+}
+
+impl Counters {
+    fn register(reg: &MetricsRegistry) -> Self {
+        Counters {
+            evictions_persistent: reg.counter(
+                "rexa_evictions_persistent_total",
+                "Persistent pages evicted (free: the database file has them).",
+            ),
+            evictions_temporary: reg.counter(
+                "rexa_evictions_temporary_total",
+                "Temporary pages evicted (each one is a spill write).",
+            ),
+            buffer_reuses: reg.counter(
+                "rexa_buffer_reuses_total",
+                "Evicted buffers handed directly to a same-size allocation.",
+            ),
+            allocations: reg.counter(
+                "rexa_allocations_total",
+                "Temporary buffer allocations (fixed and variable size).",
+            ),
+            spill_retries: reg.counter(
+                "rexa_spill_retries_total",
+                "Transient spill-write errors retried with backoff.",
+            ),
+            spill_failures: reg.counter(
+                "rexa_spill_failures_total",
+                "Spills abandoned with a typed SpillFailed error.",
+            ),
+        }
+    }
+}
+
+/// Which part of the pool a byte is attributed to. The three categories
+/// partition `used`: `used == persistent + temporary + non_paged` holds
+/// whenever the accounting lock is free, which is what makes
+/// [`BufferManager::stats`] internally consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemCat {
+    Persistent,
+    Temporary,
+    NonPaged,
+}
+
+fn cat_of(tag: BufferTag) -> MemCat {
+    if tag.is_temporary() {
+        MemCat::Temporary
+    } else {
+        MemCat::Persistent
+    }
+}
+
+/// All memory gauges behind one lock: admission, release, and
+/// category-to-category transfer each happen in a single critical section,
+/// so every observer sees `used` equal to the sum of the categories. The
+/// lock is taken once per page-granular operation (allocate, pin-load,
+/// evict, reservation resize) — never per row — so it is not a hot-path
+/// cost.
+#[derive(Debug, Default)]
+struct Accounting {
+    limit: usize,
+    used: usize,
+    persistent: usize,
+    temporary: usize,
+    non_paged: usize,
+}
+
+impl Accounting {
+    fn slot(&mut self, cat: MemCat) -> &mut usize {
+        match cat {
+            MemCat::Persistent => &mut self.persistent,
+            MemCat::Temporary => &mut self.temporary,
+            MemCat::NonPaged => &mut self.non_paged,
+        }
+    }
+
+    /// Admit `size` bytes into `cat` if they fit under the limit.
+    /// `checked_add`: a pathological `size` must not wrap around and "fit"
+    /// (release builds do not trap on overflow).
+    fn admit(&mut self, size: usize, cat: MemCat) -> bool {
+        if self.used.checked_add(size).is_some_and(|t| t <= self.limit) {
+            self.used += size;
+            *self.slot(cat) += size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release `size` bytes attributed to `cat`.
+    fn release(&mut self, size: usize, cat: MemCat) {
+        debug_assert!(self.used >= size, "memory accounting underflow");
+        debug_assert!(*self.slot(cat) >= size, "category accounting underflow");
+        self.used -= size;
+        *self.slot(cat) -= size;
+    }
+
+    /// Move `size` bytes from one category to another; `used` is untouched
+    /// (this is the buffer-reuse handoff: the evicted buffer's bytes become
+    /// the new owner's bytes in one step).
+    fn transfer(&mut self, size: usize, from: MemCat, to: MemCat) {
+        debug_assert!(*self.slot(from) >= size, "transfer source underflow");
+        *self.slot(from) -= size;
+        *self.slot(to) += size;
+    }
 }
 
 /// The unified buffer manager (paper Section III): a single memory pool and
 /// eviction structure for persistent pages, temporary pages, and non-paged
 /// reservations.
 pub struct BufferManager {
-    memory_limit: AtomicUsize,
     page_size: usize,
-    used: AtomicUsize,
-    persistent_resident: AtomicUsize,
-    temporary_resident: AtomicUsize,
-    non_paged: AtomicUsize,
+    accounting: Mutex<Accounting>,
     temp: TempFileManager,
     queues: EvictionQueues,
     counters: Counters,
+    metrics: Arc<MetricsRegistry>,
+    trace: Option<EventTrace>,
     spill_retries: u32,
     spill_backoff: Duration,
     /// Serializes eviction scans so concurrent reservations do not race each
@@ -135,23 +264,42 @@ impl BufferManager {
     /// Create a buffer manager.
     pub fn new(config: BufferManagerConfig) -> Result<Arc<Self>> {
         assert!(config.page_size >= 64, "page size too small");
-        let temp =
-            TempFileManager::with_backend(config.temp_dir, config.page_size, config.io_backend)?;
+        let metrics = config.metrics.unwrap_or_default();
+        let temp = TempFileManager::with_backend_and_metrics(
+            config.temp_dir,
+            config.page_size,
+            config.io_backend,
+            &metrics,
+        )?;
+        let counters = Counters::register(&metrics);
         Ok(Arc::new_cyclic(|weak| BufferManager {
-            memory_limit: AtomicUsize::new(config.memory_limit),
             page_size: config.page_size,
-            used: AtomicUsize::new(0),
-            persistent_resident: AtomicUsize::new(0),
-            temporary_resident: AtomicUsize::new(0),
-            non_paged: AtomicUsize::new(0),
+            accounting: Mutex::new(Accounting {
+                limit: config.memory_limit,
+                ..Accounting::default()
+            }),
             temp,
             queues: EvictionQueues::new(config.policy),
-            counters: Counters::default(),
+            counters,
+            metrics,
+            trace: config.trace,
             spill_retries: config.spill_retries,
             spill_backoff: config.spill_backoff,
             evict_lock: Mutex::new(()),
             weak_self: weak.clone(),
         }))
+    }
+
+    /// The registry holding this manager's counters (and the temp-file
+    /// I/O counters). Share it with a [`FaultInjector`](rexa_storage::FaultInjector)
+    /// or a query service to get one scrapeable source of truth.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The attached event trace, if any.
+    pub fn trace(&self) -> Option<&EventTrace> {
+        self.trace.as_ref()
     }
 
     /// The configured page size.
@@ -161,7 +309,7 @@ impl BufferManager {
 
     /// The current memory limit.
     pub fn memory_limit(&self) -> usize {
-        self.memory_limit.load(Ordering::Relaxed)
+        self.accounting.lock().limit
     }
 
     /// Change the memory limit at runtime.
@@ -174,14 +322,14 @@ impl BufferManager {
     /// released; every *new* reservation is checked against the new limit
     /// and fails rather than succeeding spuriously.
     pub fn set_memory_limit(&self, limit: usize) {
-        self.memory_limit.store(limit, Ordering::Relaxed);
+        self.accounting.lock().limit = limit;
         let _guard = self.evict_lock.lock();
         while self.memory_used() > self.memory_limit() {
             match self.evict_one() {
-                Ok(Some(buf)) => {
+                Ok(Some((buf, tag))) => {
                     let freed = buf.len();
                     drop(buf);
-                    self.used.fetch_sub(freed, Ordering::Relaxed);
+                    self.accounting.lock().release(freed, cat_of(tag));
                 }
                 // Nothing evictable, or a spill I/O error: stop. This path
                 // is best-effort; the next reservation retries eviction and
@@ -193,7 +341,7 @@ impl BufferManager {
 
     /// Bytes currently counted against the limit.
     pub fn memory_used(&self) -> usize {
-        self.used.load(Ordering::Relaxed)
+        self.accounting.lock().used
     }
 
     /// The active eviction policy.
@@ -201,23 +349,32 @@ impl BufferManager {
         self.queues.policy()
     }
 
-    /// A snapshot of all counters and gauges.
+    /// A snapshot of all counters and gauges. The memory gauges are read in
+    /// one critical section of the accounting lock, so
+    /// `memory_used == persistent_resident + temporary_resident + non_paged`
+    /// holds in every snapshot, even under concurrent load (the counters
+    /// are monotone registry metrics read individually — façade over the
+    /// single source of truth).
     pub fn stats(&self) -> BufferStats {
+        let (memory_used, memory_limit, persistent_resident, temporary_resident, non_paged) = {
+            let a = self.accounting.lock();
+            (a.used, a.limit, a.persistent, a.temporary, a.non_paged)
+        };
         BufferStats {
-            memory_used: self.used.load(Ordering::Relaxed),
-            memory_limit: self.memory_limit(),
-            persistent_resident: self.persistent_resident.load(Ordering::Relaxed),
-            temporary_resident: self.temporary_resident.load(Ordering::Relaxed),
-            non_paged: self.non_paged.load(Ordering::Relaxed),
+            memory_used,
+            memory_limit,
+            persistent_resident,
+            temporary_resident,
+            non_paged,
             temp_bytes_on_disk: self.temp.bytes_on_disk(),
             temp_bytes_written: self.temp.bytes_written(),
             temp_bytes_read: self.temp.bytes_read(),
-            evictions_persistent: self.counters.evictions_persistent.load(Ordering::Relaxed),
-            evictions_temporary: self.counters.evictions_temporary.load(Ordering::Relaxed),
-            buffer_reuses: self.counters.buffer_reuses.load(Ordering::Relaxed),
-            allocations: self.counters.allocations.load(Ordering::Relaxed),
-            spill_retries: self.counters.spill_retries.load(Ordering::Relaxed),
-            spill_failures: self.counters.spill_failures.load(Ordering::Relaxed),
+            evictions_persistent: self.counters.evictions_persistent.get(),
+            evictions_temporary: self.counters.evictions_temporary.get(),
+            buffer_reuses: self.counters.buffer_reuses.get(),
+            allocations: self.counters.allocations.get(),
+            spill_retries: self.counters.spill_retries.get(),
+            spill_failures: self.counters.spill_failures.get(),
         }
     }
 
@@ -230,51 +387,49 @@ impl BufferManager {
 
     // ---- reservation & eviction ------------------------------------------
 
-    /// Reserve `size` bytes against the limit, evicting as needed. Returns a
-    /// reusable evicted buffer of exactly `size` bytes if eviction produced
-    /// one and `allow_reuse` is set; the returned buffer's bytes remain
-    /// accounted (ownership of the reservation transfers with it).
-    fn reserve_bytes(&self, size: usize, allow_reuse: bool) -> Result<Option<RawBuffer>> {
+    /// Reserve `size` bytes against the limit, attributed to `cat`, evicting
+    /// as needed. Returns a reusable evicted buffer of exactly `size` bytes
+    /// if eviction produced one and `allow_reuse` is set; the returned
+    /// buffer's bytes remain accounted, already re-attributed to `cat`
+    /// (ownership of the reservation transfers with it).
+    fn reserve_bytes(
+        &self,
+        size: usize,
+        cat: MemCat,
+        allow_reuse: bool,
+    ) -> Result<Option<RawBuffer>> {
         loop {
-            let used = self.used.load(Ordering::Relaxed);
-            let limit = self.memory_limit();
-            // checked_add: a pathological `size` must not wrap around and
-            // "fit" (release builds do not trap on overflow).
-            if used.checked_add(size).is_some_and(|total| total <= limit) {
-                if self
-                    .used
-                    .compare_exchange_weak(used, used + size, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    return Ok(None);
-                }
-                continue;
+            if self.accounting.lock().admit(size, cat) {
+                return Ok(None);
             }
             // Over the limit: evict. Serialize evictors so two threads do
             // not both drain the queue for one reservation's worth of space.
             let _guard = self.evict_lock.lock();
             match self.evict_one()? {
-                Some(buf) => {
+                Some((buf, tag)) => {
                     if allow_reuse && buf.len() == size {
-                        self.counters.buffer_reuses.fetch_add(1, Ordering::Relaxed);
+                        self.counters.buffer_reuses.incr();
+                        // The victim's bytes become the caller's bytes in one
+                        // critical section; `used` never dips or double-counts.
+                        self.accounting.lock().transfer(size, cat_of(tag), cat);
                         return Ok(Some(buf));
                     }
                     let freed = buf.len();
                     drop(buf);
-                    self.used.fetch_sub(freed, Ordering::Relaxed);
+                    self.accounting.lock().release(freed, cat_of(tag));
                 }
                 None => {
                     // Nothing evictable — but concurrent releases may have
                     // freed room while we drained the queue (e.g. another
                     // query's partitions being destroyed). Only report OOM
                     // if the request still does not fit *now*.
-                    let used_now = self.used.load(Ordering::Relaxed);
-                    if used_now
-                        .checked_add(size)
-                        .is_some_and(|total| total <= self.memory_limit())
-                    {
-                        continue;
-                    }
+                    let (limit, used_now) = {
+                        let mut a = self.accounting.lock();
+                        if a.admit(size, cat) {
+                            return Ok(None);
+                        }
+                        (a.limit, a.used)
+                    };
                     return Err(Error::OutOfMemory {
                         requested: size,
                         limit,
@@ -285,10 +440,9 @@ impl BufferManager {
         }
     }
 
-    /// Release `size` reserved bytes.
-    fn release_bytes(&self, size: usize) {
-        let prev = self.used.fetch_sub(size, Ordering::Relaxed);
-        debug_assert!(prev >= size, "memory accounting underflow");
+    /// Release `size` reserved bytes attributed to `cat`.
+    fn release_bytes(&self, size: usize, cat: MemCat) {
+        self.accounting.lock().release(size, cat);
     }
 
     /// True for I/O errors worth retrying: the operation may succeed if
@@ -314,12 +468,28 @@ impl BufferManager {
             match op() {
                 Ok(v) => return Ok(v),
                 Err(Error::Io(e)) if retries < self.spill_retries && Self::is_transient(&e) => {
-                    self.counters.spill_retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(self.spill_backoff * (1u32 << retries.min(3)));
+                    self.counters.spill_retries.incr();
+                    let backoff = self.spill_backoff * (1u32 << retries.min(3));
+                    if let Some(trace) = &self.trace {
+                        trace.record(TraceEventKind::Retry {
+                            attempt: retries + 1,
+                        });
+                        trace.record(TraceEventKind::Backoff {
+                            micros: backoff.as_micros() as u64,
+                        });
+                    }
+                    std::thread::sleep(backoff);
                     retries += 1;
                 }
                 Err(Error::Io(e)) => {
-                    self.counters.spill_failures.fetch_add(1, Ordering::Relaxed);
+                    self.counters.spill_failures.incr();
+                    if let Some(trace) = &self.trace {
+                        trace.record(TraceEventKind::Degradation {
+                            detail: format!(
+                                "spill of {bytes} bytes abandoned after {retries} retries: {e}"
+                            ),
+                        });
+                    }
                     return Err(Error::SpillFailed {
                         source: e,
                         bytes,
@@ -332,15 +502,17 @@ impl BufferManager {
     }
 
     /// Evict one block: pop queue entries until a valid, unpinned, loaded
-    /// candidate is found; spill it if temporary; return its buffer with the
-    /// bytes still accounted. `Ok(None)` means nothing is evictable.
+    /// candidate is found; spill it if temporary; return its buffer and tag
+    /// with the bytes still accounted to the victim's category — the caller
+    /// must `transfer` (reuse) or `release` (free) them.
+    /// `Ok(None)` means nothing is evictable.
     ///
     /// A failed spill degrades gracefully: the candidate stays loaded, is
     /// re-enqueued (so it becomes evictable again once the fault clears or
     /// disk space frees up), and the error propagates to whichever
     /// reservation needed the memory — that query fails; the manager and
     /// every other block stay consistent.
-    fn evict_one(&self) -> Result<Option<RawBuffer>> {
+    fn evict_one(&self) -> Result<Option<(RawBuffer, BufferTag)>> {
         while let Some(QueueEntry { block, seq }) = self.queues.pop() {
             let Some(handle) = block.upgrade() else {
                 continue; // block destroyed
@@ -388,12 +560,24 @@ impl BufferManager {
             };
             let loc = match spilled {
                 Ok(loc) => {
-                    let counter = if handle.tag.is_temporary() {
+                    let temporary = handle.tag.is_temporary();
+                    let counter = if temporary {
                         &self.counters.evictions_temporary
                     } else {
                         &self.counters.evictions_persistent
                     };
-                    counter.fetch_add(1, Ordering::Relaxed);
+                    counter.incr();
+                    if let Some(trace) = &self.trace {
+                        if temporary {
+                            trace.record(TraceEventKind::Spill {
+                                bytes: handle.size as u64,
+                            });
+                        }
+                        trace.record(TraceEventKind::Eviction {
+                            bytes: handle.size as u64,
+                            temporary,
+                        });
+                    }
                     loc
                 }
                 Err(e) => {
@@ -409,29 +593,14 @@ impl BufferManager {
             let Residency::Loaded(buf) = old else {
                 unreachable!()
             };
-            self.on_resident_change(handle.tag, buf.len(), false);
-            return Ok(Some(buf));
+            return Ok(Some((buf, handle.tag)));
         }
         Ok(None)
     }
 
-    fn on_resident_change(&self, tag: BufferTag, size: usize, loaded: bool) {
-        let gauge = if tag.is_temporary() {
-            &self.temporary_resident
-        } else {
-            &self.persistent_resident
-        };
-        if loaded {
-            gauge.fetch_add(size, Ordering::Relaxed);
-        } else {
-            gauge.fetch_sub(size, Ordering::Relaxed);
-        }
-    }
-
     /// Called from `BlockHandle::drop` for a still-resident block.
     pub(crate) fn on_destroy_loaded(&self, tag: BufferTag, size: usize) {
-        self.on_resident_change(tag, size, false);
-        self.release_bytes(size);
+        self.release_bytes(size, cat_of(tag));
     }
 
     /// Called from `BlockHandle::drop` for a spilled block: free disk space.
@@ -464,11 +633,10 @@ impl BufferManager {
     }
 
     fn allocate_temp(&self, size: usize, tag: BufferTag) -> Result<(Arc<BlockHandle>, PinGuard)> {
-        let reused = self.reserve_bytes(size, true)?;
+        let reused = self.reserve_bytes(size, cat_of(tag), true)?;
         let buf = reused.unwrap_or_else(|| RawBuffer::alloc(size));
         let ptr = buf.as_ptr();
-        self.counters.allocations.fetch_add(1, Ordering::Relaxed);
-        self.on_resident_change(tag, size, true);
+        self.counters.allocations.incr();
         let handle = Arc::new(BlockHandle {
             tag,
             size,
@@ -544,7 +712,8 @@ impl BufferManager {
         }
         // Slow path: reserve memory *without* holding the state lock (the
         // reservation may need to evict other blocks), then load.
-        let reused = self.reserve_bytes(handle.size, true)?;
+        let cat = cat_of(handle.tag);
+        let reused = self.reserve_bytes(handle.size, cat, true)?;
         let mut state = handle.state.lock();
         match &*state {
             Residency::Loaded(buf) => {
@@ -554,9 +723,9 @@ impl BufferManager {
                     Some(buf) => {
                         let len = buf.len();
                         drop(buf);
-                        self.release_bytes(len);
+                        self.release_bytes(len, cat);
                     }
-                    None => self.release_bytes(handle.size),
+                    None => self.release_bytes(handle.size, cat),
                 }
                 Ok(PinGuard {
                     handle: Arc::clone(handle),
@@ -582,12 +751,11 @@ impl BufferManager {
                 if let Err(e) = load {
                     // Leave the block on disk; release the reservation.
                     drop(buf);
-                    self.release_bytes(handle.size);
+                    self.release_bytes(handle.size, cat);
                     return Err(e);
                 }
                 let ptr = buf.as_ptr();
                 *state = Residency::Loaded(buf);
-                self.on_resident_change(handle.tag, handle.size, true);
                 Ok(PinGuard {
                     handle: Arc::clone(handle),
                     ptr,
@@ -601,8 +769,7 @@ impl BufferManager {
     /// hash table's entry array) but that must count against the limit and
     /// may push pages out (Cooperative Memory Management's behaviour).
     pub fn reserve(&self, size: usize) -> Result<MemoryReservation> {
-        self.reserve_bytes(size, false)?;
-        self.non_paged.fetch_add(size, Ordering::Relaxed);
+        self.reserve_bytes(size, MemCat::NonPaged, false)?;
         Ok(MemoryReservation {
             mgr: self.self_arc(),
             size,
@@ -628,15 +795,11 @@ impl MemoryReservation {
     /// with [`Error::OutOfMemory`]; on failure the reservation is unchanged.
     pub fn resize(&mut self, new_size: usize) -> Result<()> {
         if new_size > self.size {
-            self.mgr.reserve_bytes(new_size - self.size, false)?;
             self.mgr
-                .non_paged
-                .fetch_add(new_size - self.size, Ordering::Relaxed);
+                .reserve_bytes(new_size - self.size, MemCat::NonPaged, false)?;
         } else {
-            self.mgr.release_bytes(self.size - new_size);
             self.mgr
-                .non_paged
-                .fetch_sub(self.size - new_size, Ordering::Relaxed);
+                .release_bytes(self.size - new_size, MemCat::NonPaged);
         }
         self.size = new_size;
         Ok(())
@@ -664,8 +827,7 @@ impl MemoryReservation {
 
 impl Drop for MemoryReservation {
     fn drop(&mut self) {
-        self.mgr.release_bytes(self.size);
-        self.mgr.non_paged.fetch_sub(self.size, Ordering::Relaxed);
+        self.mgr.release_bytes(self.size, MemCat::NonPaged);
     }
 }
 

@@ -154,6 +154,128 @@ fn lowering_limit_evicts_promptly() {
     drop(handles);
 }
 
+/// Regression: `stats()` must be an internally consistent snapshot even while
+/// other threads allocate, pin-load, evict, and resize reservations. Before
+/// the single-lock accounting, the gauges were independent atomics updated
+/// one after another and a concurrent reader could observe `memory_used`
+/// off from the category sum by a page.
+#[test]
+fn every_snapshot_is_internally_consistent_under_load() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mgr = small_mgr(8);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Mutators: page churn (temporary bytes), repin-after-spill (load
+        // path), and non-paged reservations growing and shrinking. All three
+        // categories move concurrently.
+        for t in 0..3u32 {
+            let mgr = Arc::clone(&mgr);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut handles = Vec::new();
+                let mut round = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    round += 1;
+                    if let Ok((h, p)) = mgr.allocate_page() {
+                        drop(p);
+                        handles.push(h);
+                    }
+                    if handles.len() > 6 {
+                        handles.drain(0..3);
+                    }
+                    if round % 3 == t % 3 {
+                        if let Some(h) = handles.first() {
+                            let _ = mgr.pin(h);
+                        }
+                    }
+                    if round.is_multiple_of(4) {
+                        if let Ok(mut r) = mgr.reserve(PAGE / 2) {
+                            let _ = r.resize(PAGE);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Observers: hammer stats() and assert the invariant on every
+        // single snapshot.
+        let mut observers = Vec::new();
+        for _ in 0..2 {
+            let mgr = Arc::clone(&mgr);
+            let stop = &stop;
+            observers.push(s.spawn(move || {
+                let mut snapshots = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let st = mgr.stats();
+                    assert_eq!(
+                        st.memory_used,
+                        st.persistent_resident + st.temporary_resident + st.non_paged,
+                        "inconsistent snapshot: {st:?}"
+                    );
+                    assert!(st.memory_used <= st.memory_limit, "over limit: {st:?}");
+                    snapshots += 1;
+                }
+                snapshots
+            }));
+        }
+
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        stop.store(true, Ordering::Relaxed);
+        for obs in observers {
+            let seen = obs.join().unwrap();
+            assert!(seen > 100, "observer starved: only {seen} snapshots");
+        }
+    });
+
+    let st = mgr.stats();
+    assert_eq!(st.memory_used, 0, "leak: {st:?}");
+}
+
+/// A one-page pool forces every allocation through the evict-and-reuse path,
+/// which hands the victim's bytes to the new owner by a category transfer in
+/// one critical section; a reader racing that handoff must still see a
+/// consistent sum.
+#[test]
+fn snapshot_consistent_across_eviction_reuse_handoff() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mgr = small_mgr(1);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let mgr = Arc::clone(&mgr);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut last = None;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok((h, p)) = mgr.allocate_page() {
+                        drop(p);
+                        last = Some(h);
+                    }
+                }
+                drop(last);
+            });
+        }
+        let mgr2 = Arc::clone(&mgr);
+        let stopr = &stop;
+        let obs = s.spawn(move || {
+            while !stopr.load(Ordering::Relaxed) {
+                let st = mgr2.stats();
+                assert_eq!(
+                    st.memory_used,
+                    st.persistent_resident + st.temporary_resident + st.non_paged,
+                    "inconsistent snapshot during reuse handoff: {st:?}"
+                );
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        obs.join().unwrap();
+    });
+    assert!(mgr.stats().buffer_reuses > 0, "reuse path never exercised");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

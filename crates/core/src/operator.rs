@@ -37,6 +37,7 @@ use rexa_exec::vector::VectorData;
 use rexa_exec::{hashing, DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
 use rexa_layout::matcher::{row_row_match, row_row_match_sel, rows_match, rows_match_sel};
 use rexa_layout::{PartitionedTupleData, TupleDataCollection, TupleDataLayout};
+use rexa_obs::{Phase, ProfileCollector, QueryProfile};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -144,6 +145,10 @@ pub struct RunStats {
     pub phase2: Duration,
     /// Buffer-manager activity during the run (counters are deltas).
     pub buffer: BufferStats,
+    /// The full execution profile — per-phase wall/busy/units, spill I/O,
+    /// partitions gone external. [`QueryProfile::render`] turns it into an
+    /// EXPLAIN-ANALYZE-style report.
+    pub profile: QueryProfile,
 }
 
 /// Where each output aggregate comes from.
@@ -735,6 +740,14 @@ fn finalize_partition(
     if part.rows() == 0 {
         return Ok(());
     }
+    // A partition with evicted pages "went external": pinning it back below
+    // reads those bytes from the spill files. Recorded before the pins so
+    // the profile reflects where the partition *was*, not where it ends up.
+    if let Some(profile) = ctx.profile() {
+        if part.unloaded_bytes() > 0 {
+            profile.add_partitions_external(1);
+        }
+    }
     // Spend grant headroom for the pages this partition is about to pin:
     // the admission footprint promised them, and releasing the bytes here
     // means the pins consume the promised headroom instead of charging the
@@ -903,6 +916,7 @@ fn finalize_partition(
 
     // Emit the surviving groups ("fully aggregated partitions are
     // immediately scanned" — pushed to the consumer, then freed).
+    let t_emit = Instant::now();
     for batch in live.chunks(config.output_chunk_size.max(1)) {
         ctx.check_cancelled()?;
         // SAFETY: batch pointers come from this collection under `pins`.
@@ -938,6 +952,13 @@ fn finalize_partition(
             }
         }
         consumer(DataChunk::new(columns))?;
+    }
+    if let Some(profile) = ctx.profile() {
+        // The emit share of this task's time: phase-2 busy (credited to the
+        // merge phase by `parallel_for`) includes it; this split shows how
+        // much of it was spent gathering and streaming output.
+        profile.add_busy_to(Phase::Finalize, t_emit.elapsed());
+        profile.add_rows_out(live.len() as u64);
     }
     groups_out.fetch_add(live.len(), Ordering::Relaxed);
     drop(pins);
@@ -989,6 +1010,20 @@ pub fn hash_aggregate_streaming_ctx(
     let radix_bits = config.effective_radix_bits();
     let stats_before = mgr.stats();
 
+    // Every run collects a full profile: workers credit busy time and work
+    // units to the collector's current phase, and the orchestration below
+    // stamps the phase walls. A service-attached collector (via the
+    // context) is reused so its scrape sees the same numbers; otherwise a
+    // private one backs the RunStats profile.
+    let collector = ctx
+        .profile()
+        .cloned()
+        .unwrap_or_else(|| Arc::new(ProfileCollector::new()));
+    let ctx_prof = ctx.clone().with_profile(Arc::clone(&collector));
+    let ctx = &ctx_prof;
+    collector.set_threads(config.threads);
+    let t_run = Instant::now();
+
     let sink = AggSink {
         plan: &bound,
         mgr,
@@ -1000,29 +1035,65 @@ pub fn hash_aggregate_streaming_ctx(
         resets: AtomicU64::new(0),
     };
 
+    collector.set_phase(Phase::Probe);
     let t0 = Instant::now();
     Pipeline::run_ctx(source, &sink, config.threads, ctx)?;
     let phase1 = t0.elapsed();
+    collector.set_phase_wall(Phase::Probe, phase1);
 
     ctx.check_cancelled()?;
-    let t1 = Instant::now();
+    // The partition handoff: thread-local partitions were combined into the
+    // shared set during sink-combine; what is left here is taking ownership
+    // for phase 2. Spill traffic happens *throughout* phase 1 (the buffer
+    // manager evicts unpinned partition pages whenever memory runs short),
+    // so the spill/partition row of the profile carries the spill byte
+    // counts rather than a meaningful wall time of its own.
+    collector.set_phase(Phase::Partition);
+    let t_part = Instant::now();
     let shared = Mutex::new(sink.shared.into_inner());
-    let groups_out = AtomicUsize::new(0);
     let partitions = 1usize << radix_bits;
+    collector.add_partitions(partitions as u64);
+    collector.set_phase_wall(Phase::Partition, t_part.elapsed());
+
+    collector.set_phase(Phase::Merge);
+    let t1 = Instant::now();
+    let groups_out = AtomicUsize::new(0);
     parallel_for_ctx(partitions, config.threads, ctx, &|p| {
         let part = shared.lock().take_partition(p);
         finalize_partition(&bound, mgr, config, ctx, part, consumer, &groups_out)
     })?;
     let phase2 = t1.elapsed();
+    collector.set_phase_wall(Phase::Merge, phase2);
+
+    let rows_in = sink.rows_in.load(Ordering::Relaxed);
+    let groups = groups_out.load(Ordering::Relaxed);
+    let resets = sink.resets.load(Ordering::Relaxed);
+    let buffer = mgr.stats().delta_since(&stats_before);
+    collector.set_phase(Phase::Finalize);
+    collector.add_rows_in(rows_in as u64);
+    collector.add_groups(groups as u64);
+    collector.add_ht_resets(resets);
+    collector.set_spill_io(
+        buffer.temp_bytes_written,
+        buffer.temp_bytes_read,
+        buffer.spill_retries,
+        buffer.evictions_persistent + buffer.evictions_temporary,
+    );
+    let operator = match config.kernel_mode {
+        KernelMode::Vectorized => "HASH_AGGREGATE (vectorized)",
+        KernelMode::Scalar => "HASH_AGGREGATE (scalar)",
+    };
+    let profile = collector.finish(operator, t_run.elapsed());
 
     Ok(RunStats {
-        rows_in: sink.rows_in.load(Ordering::Relaxed),
-        groups: groups_out.load(Ordering::Relaxed),
+        rows_in,
+        groups,
         partitions,
-        resets: sink.resets.load(Ordering::Relaxed),
+        resets,
         phase1,
         phase2,
-        buffer: mgr.stats().delta_since(&stats_before),
+        buffer,
+        profile,
     })
 }
 
@@ -1744,6 +1815,103 @@ mod tests {
                 "{mode:?}: expected resets, got {stats:?}"
             );
         }
+    }
+
+    #[test]
+    fn profile_matches_ground_truth_under_memory_pressure() {
+        // Same geometry as `spills_under_tight_memory_and_stays_correct`:
+        // the QueryProfile in RunStats must agree with the independently
+        // tracked RunStats fields and the buffer-manager deltas, and the
+        // rendered report must carry the numbers through.
+        let coll = make_input(60_000, 60_000, 5);
+        let mgr = mgr_with(coll.approx_bytes() / 2, 4 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0, 2],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        let config = AggregateConfig {
+            threads: 4,
+            radix_bits: Some(5),
+            ht_capacity: 4 * VECTOR_SIZE,
+            output_chunk_size: VECTOR_SIZE,
+            reset_fill_percent: 66,
+            ..Default::default()
+        };
+        let source = CollectionSource::new(&coll);
+        let (out, stats) =
+            hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+        let p = &stats.profile;
+        assert_eq!(p.operator, "HASH_AGGREGATE (vectorized)");
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.rows_in, stats.rows_in as u64);
+        assert_eq!(p.rows_out, out.rows() as u64, "every group emitted once");
+        assert_eq!(p.groups, stats.groups as u64);
+        assert_eq!(p.ht_resets, stats.resets);
+        assert_eq!(p.partitions, 32);
+        assert!(
+            p.partitions_external > 0,
+            "tight memory must push partitions external: {p:?}"
+        );
+        assert!(p.partitions_external <= p.partitions);
+        assert_eq!(p.spill_bytes_written, stats.buffer.temp_bytes_written);
+        assert_eq!(p.spill_bytes_read, stats.buffer.temp_bytes_read);
+        assert_eq!(
+            p.evictions,
+            stats.buffer.evictions_temporary + stats.buffer.evictions_persistent
+        );
+        assert!(p.spill_bytes_written > 0, "the run must have spilled");
+        // Phase walls track the independently measured RunStats timings.
+        let probe = &p.phases[Phase::Probe.index()];
+        let merge = &p.phases[Phase::Merge.index()];
+        assert_eq!(probe.wall, stats.phase1);
+        assert_eq!(merge.wall, stats.phase2);
+        assert!(probe.busy > Duration::ZERO, "workers recorded probe time");
+        assert!(merge.busy > Duration::ZERO);
+        assert!(
+            probe.units > 0 && probe.units <= stats.rows_in as u64,
+            "probe units are chunks: {}",
+            probe.units
+        );
+        assert_eq!(merge.units, 32, "merge units are partition tasks");
+        assert!(p.wall >= stats.phase1 + stats.phase2);
+        // The rendered report carries the ground-truth numbers.
+        let report = p.render();
+        assert!(report.contains("HASH_AGGREGATE (vectorized)"), "{report}");
+        assert!(
+            report.contains(&format!("rows_in {}", stats.rows_in)),
+            "{report}"
+        );
+        assert!(
+            report.contains(&format!("groups {}", stats.groups)),
+            "{report}"
+        );
+        assert!(
+            report.contains(&format!(
+                "spill_bytes_written {}",
+                stats.buffer.temp_bytes_written
+            )),
+            "{report}"
+        );
+        assert!(
+            report.contains(&format!("({} external)", p.partitions_external)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn profile_without_spilling_reports_zero_spill_io() {
+        let coll = make_input(20_000, 500, 1);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        let stats = check_against_reference(&coll, &plan, &small_config(2), &mgr);
+        let p = &stats.profile;
+        assert_eq!(p.spill_bytes_written, 0);
+        assert_eq!(p.partitions_external, 0);
+        assert_eq!(p.rows_in, 20_000);
+        assert_eq!(p.threads, 2);
     }
 
     #[test]

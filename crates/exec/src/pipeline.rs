@@ -192,13 +192,26 @@ impl Pipeline {
     ) -> Result<()> {
         let threads = threads.max(1);
         let work = || {
-            let mut reader = source.reader();
-            let mut local = sink.local()?;
-            while let Some(chunk) = reader.next()? {
-                ctx.check_cancelled()?;
-                local.sink(chunk)?;
+            // Busy time and chunk counts are accumulated locally and
+            // flushed to the profile collector once per worker, so the
+            // streaming loop itself carries no profiling cost.
+            let started = std::time::Instant::now();
+            let mut chunks = 0u64;
+            let result = (|| {
+                let mut reader = source.reader();
+                let mut local = sink.local()?;
+                while let Some(chunk) = reader.next()? {
+                    ctx.check_cancelled()?;
+                    local.sink(chunk)?;
+                    chunks += 1;
+                }
+                local.combine()
+            })();
+            if let Some(p) = ctx.profile() {
+                p.add_busy(started.elapsed());
+                p.add_units(chunks);
             }
-            local.combine()
+            result
         };
         if threads == 1 {
             return work();
@@ -232,11 +245,21 @@ pub fn parallel_for_ctx(
     let threads = threads.max(1).min(tasks.max(1));
     let next = AtomicUsize::new(0);
     let work = || {
-        while let Some(task) = claim(&next, tasks) {
-            ctx.check_cancelled()?;
-            f(task)?;
+        let started = std::time::Instant::now();
+        let mut executed = 0u64;
+        let result = (|| {
+            while let Some(task) = claim(&next, tasks) {
+                ctx.check_cancelled()?;
+                f(task)?;
+                executed += 1;
+            }
+            Ok(())
+        })();
+        if let Some(p) = ctx.profile() {
+            p.add_busy(started.elapsed());
+            p.add_units(executed);
         }
-        Ok(())
+        result
     };
     if threads == 1 {
         return work();
@@ -474,6 +497,31 @@ mod tests {
         })
         .unwrap();
         assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn profile_collector_records_busy_time_and_units() {
+        use rexa_obs::{Phase, ProfileCollector};
+        let coll = make_collection(150, 100);
+        let profile = Arc::new(ProfileCollector::new());
+        let ctx = ExecContext::new().with_profile(Arc::clone(&profile));
+
+        profile.set_phase(Phase::Probe);
+        let sink = SumSink {
+            total: AtomicI64::new(0),
+            combines: AtomicUsize::new(0),
+        };
+        let source = CollectionSource::new(&coll);
+        Pipeline::run_ctx(&source, &sink, 4, &ctx).unwrap();
+
+        profile.set_phase(Phase::Merge);
+        parallel_for_ctx(31, 4, &ctx, &|_| Ok(())).unwrap();
+
+        let p = profile.finish("x", std::time::Duration::ZERO);
+        // Every chunk is credited to the probe phase, every task to merge.
+        assert_eq!(p.phases[Phase::Probe.index()].units, 150);
+        assert_eq!(p.phases[Phase::Merge.index()].units, 31);
+        assert!(p.phases[Phase::Probe.index()].busy > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use crate::error::{Error, Result};
 use crate::pipeline::CancelToken;
 use parking_lot::{Condvar, Mutex};
+use rexa_obs::ProfileCollector;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -266,6 +267,7 @@ pub struct ExecContext {
     pool: Option<Arc<WorkerPool>>,
     cancel: CancelToken,
     grant: Option<Arc<dyn MemoryGrant>>,
+    profile: Option<Arc<ProfileCollector>>,
 }
 
 impl ExecContext {
@@ -281,6 +283,7 @@ impl ExecContext {
             pool: Some(pool),
             cancel: CancelToken::new(),
             grant: None,
+            profile: None,
         }
     }
 
@@ -294,6 +297,19 @@ impl ExecContext {
     pub fn with_grant(mut self, grant: Arc<dyn MemoryGrant>) -> Self {
         self.grant = Some(grant);
         self
+    }
+
+    /// Attach a per-query profile collector (builder style). Pipeline and
+    /// `parallel_for` workers credit their busy time and executed work
+    /// units to the collector's current phase.
+    pub fn with_profile(mut self, profile: Arc<ProfileCollector>) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The attached profile collector, if any.
+    pub fn profile(&self) -> Option<&Arc<ProfileCollector>> {
+        self.profile.as_ref()
     }
 
     /// Carve `bytes` out of the attached grant. `None` when no grant is

@@ -131,6 +131,25 @@ impl TupleDataCollection {
             + self.heap_pages.iter().map(|h| h.size).sum::<usize>()
     }
 
+    /// Bytes of this collection's pages that are currently *not* resident —
+    /// they were evicted and live in spill files (or the database file).
+    /// A nonzero value before [`Self::pin_all`] means pinning will read
+    /// them back from storage: the partition "went external".
+    pub fn unloaded_bytes(&self) -> usize {
+        let page = self.mgr.page_size();
+        self.row_pages
+            .iter()
+            .filter(|p| !p.handle.is_loaded())
+            .map(|_| page)
+            .sum::<usize>()
+            + self
+                .heap_pages
+                .iter()
+                .filter(|h| !h.handle.is_loaded())
+                .map(|h| h.size)
+                .sum::<usize>()
+    }
+
     /// Heap bytes a value needs (non-inlined strings only).
     fn heap_need(cols: &[&Vector], var_cols: &[usize], row: usize) -> usize {
         let mut need = 0;

@@ -1,0 +1,254 @@
+//! Bounded ring-buffer event trace.
+//!
+//! Slow-path events — spills, evictions, retry/backoff cycles, injected
+//! faults, degradation decisions — are rare (tens per query, not
+//! per-row), so the trace takes a short mutex per event and keeps a
+//! bounded ring: when full, the oldest events are dropped and counted.
+//! Timestamps are monotonic offsets from the trace's creation, so a
+//! rendered dump reads as a causal timeline for chaos-test forensics.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default ring capacity: generous for a query's worth of slow-path
+/// events, small enough to never matter for memory accounting.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Buffer bytes written out to the temp file.
+    Spill { bytes: u64 },
+    /// A resident block was evicted; `temporary` distinguishes spill
+    /// state from persistent data.
+    Eviction { bytes: u64, temporary: bool },
+    /// A transient spill failure triggered retry `attempt`.
+    Retry { attempt: u32 },
+    /// Backoff slept before the next retry.
+    Backoff { micros: u64 },
+    /// The fault injector armed a fault on an I/O operation.
+    FaultInjected {
+        op: &'static str,
+        kind: &'static str,
+    },
+    /// A graceful-degradation decision (e.g. abandoning spill and
+    /// continuing in-memory, or failing a query typed instead of
+    /// corrupting state).
+    Degradation { detail: String },
+}
+
+impl fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEventKind::Spill { bytes } => write!(f, "spill {bytes} B"),
+            TraceEventKind::Eviction { bytes, temporary } => {
+                let tag = if *temporary {
+                    "temporary"
+                } else {
+                    "persistent"
+                };
+                write!(f, "evict {tag} {bytes} B")
+            }
+            TraceEventKind::Retry { attempt } => write!(f, "spill retry attempt {attempt}"),
+            TraceEventKind::Backoff { micros } => write!(f, "backoff {micros} us"),
+            TraceEventKind::FaultInjected { op, kind } => {
+                write!(f, "fault injected: {kind} on {op}")
+            }
+            TraceEventKind::Degradation { detail } => write!(f, "degradation: {detail}"),
+        }
+    }
+}
+
+/// One recorded event with its monotonic offset from trace creation.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub at: Duration,
+    pub kind: TraceEventKind,
+}
+
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Shared, bounded event trace. Cloning shares the ring.
+#[derive(Clone)]
+pub struct EventTrace {
+    epoch: Instant,
+    capacity: usize,
+    ring: Arc<Mutex<Ring>>,
+}
+
+impl std::fmt::Debug for EventTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventTrace")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl EventTrace {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        EventTrace {
+            epoch: Instant::now(),
+            capacity,
+            ring: Arc::new(Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            })),
+        }
+    }
+
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+
+    pub fn record(&self, kind: TraceEventKind) {
+        let at = self.epoch.elapsed();
+        let mut ring = self.ring.lock();
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(TraceEvent { at, kind });
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().buf.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring.lock().buf.iter().cloned().collect()
+    }
+
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock();
+        ring.buf.clear();
+        ring.dropped = 0;
+    }
+
+    /// Count events matching a predicate (handy for wiring tests).
+    pub fn count_matching(&self, pred: impl Fn(&TraceEventKind) -> bool) -> usize {
+        self.ring
+            .lock()
+            .buf
+            .iter()
+            .filter(|e| pred(&e.kind))
+            .count()
+    }
+
+    /// Render the timeline for a failure message: one line per event,
+    /// oldest first, noting any dropped prefix.
+    pub fn render(&self) -> String {
+        let ring = self.ring.lock();
+        let mut out = String::new();
+        out.push_str("event trace:\n");
+        if ring.dropped > 0 {
+            out.push_str(&format!("  ({} earlier events dropped)\n", ring.dropped));
+        }
+        if ring.buf.is_empty() {
+            out.push_str("  (no events recorded)\n");
+        }
+        for e in &ring.buf {
+            out.push_str(&format!("  [+{:>10.6}s] {}\n", e.at.as_secs_f64(), e.kind));
+        }
+        out
+    }
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        Self::with_default_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let t = EventTrace::new(8);
+        t.record(TraceEventKind::Spill { bytes: 4096 });
+        t.record(TraceEventKind::Retry { attempt: 1 });
+        assert_eq!(t.len(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap[0].kind, TraceEventKind::Spill { bytes: 4096 });
+        assert!(snap[1].at >= snap[0].at, "timestamps must be monotone");
+    }
+
+    #[test]
+    fn ring_bounds_and_drop_count() {
+        let t = EventTrace::new(4);
+        for i in 0..10 {
+            t.record(TraceEventKind::Retry { attempt: i });
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let snap = t.snapshot();
+        // The newest four survive.
+        assert_eq!(snap[0].kind, TraceEventKind::Retry { attempt: 6 });
+        assert_eq!(snap[3].kind, TraceEventKind::Retry { attempt: 9 });
+        let rendered = t.render();
+        assert!(rendered.contains("6 earlier events dropped"), "{rendered}");
+    }
+
+    #[test]
+    fn render_mentions_each_event_kind() {
+        let t = EventTrace::new(16);
+        t.record(TraceEventKind::Spill { bytes: 1 });
+        t.record(TraceEventKind::Eviction {
+            bytes: 2,
+            temporary: true,
+        });
+        t.record(TraceEventKind::Backoff { micros: 200 });
+        t.record(TraceEventKind::FaultInjected {
+            op: "write",
+            kind: "enospc",
+        });
+        t.record(TraceEventKind::Degradation {
+            detail: "continuing in-memory".into(),
+        });
+        let r = t.render();
+        for needle in [
+            "spill 1 B",
+            "evict temporary 2 B",
+            "backoff 200 us",
+            "fault injected: enospc on write",
+            "degradation: continuing in-memory",
+        ] {
+            assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_bounded() {
+        let t = EventTrace::new(64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        t.record(TraceEventKind::Retry { attempt: i });
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.dropped(), 4000 - 64);
+    }
+}

@@ -39,6 +39,7 @@ use rexa_core::{
 use rexa_exec::pipeline::{CancelToken, ChunkSource, CollectionSource};
 use rexa_exec::pool::{ExecContext, WorkerPool};
 use rexa_exec::{ChunkCollection, DataChunk, Error, Result};
+use rexa_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -287,6 +288,63 @@ struct SchedulerState {
     drivers: Vec<JoinHandle<()>>,
 }
 
+/// Service-level metrics, registered on the buffer manager's registry so a
+/// single Prometheus scrape sees the whole stack (service admission, buffer
+/// pool, temp-file I/O, fault injection).
+struct ServiceMetrics {
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    shed: Counter,
+    deadline_exceeded: Counter,
+    queued: Gauge,
+    running: Gauge,
+    query_duration: Histogram,
+    queue_wait: Histogram,
+}
+
+impl ServiceMetrics {
+    fn register(reg: &MetricsRegistry) -> Self {
+        ServiceMetrics {
+            submitted: reg.counter(
+                "rexa_queries_submitted_total",
+                "Queries accepted into the admission queue.",
+            ),
+            completed: reg.counter(
+                "rexa_queries_completed_total",
+                "Queries that finished successfully.",
+            ),
+            failed: reg.counter(
+                "rexa_queries_failed_total",
+                "Queries that finished with an error (including cancellation).",
+            ),
+            shed: reg.counter(
+                "rexa_queries_shed_total",
+                "Submissions rejected because the admission queue was full.",
+            ),
+            deadline_exceeded: reg.counter(
+                "rexa_queries_deadline_exceeded_total",
+                "Queries cancelled by their deadline, queued or running.",
+            ),
+            queued: reg.gauge(
+                "rexa_queries_queued",
+                "Queries currently waiting for admission.",
+            ),
+            running: reg.gauge("rexa_queries_running", "Queries currently executing."),
+            query_duration: reg.histogram(
+                "rexa_query_duration_seconds",
+                "Wall time from launch to completion of a query.",
+                Histogram::duration_bounds(),
+            ),
+            queue_wait: reg.histogram(
+                "rexa_query_queue_wait_seconds",
+                "Time a query spent waiting for admission before launch.",
+                Histogram::duration_bounds(),
+            ),
+        }
+    }
+}
+
 struct ServiceShared {
     state: Mutex<SchedulerState>,
     /// Wakes the scheduler: new submission, query completion, shutdown.
@@ -294,6 +352,7 @@ struct ServiceShared {
     mgr: Arc<BufferManager>,
     pool: Arc<WorkerPool>,
     config: ServiceConfig,
+    metrics: ServiceMetrics,
 }
 
 /// The concurrent query service. See the crate docs for the model.
@@ -316,6 +375,7 @@ impl QueryService {
                 drivers: Vec::new(),
             }),
             work: Condvar::new(),
+            metrics: ServiceMetrics::register(mgr.metrics()),
             mgr,
             pool: Arc::new(WorkerPool::new(config.pool_threads)),
             config,
@@ -367,6 +427,7 @@ impl QueryService {
             return Err(Error::Internal("query service is shut down".into()));
         }
         if state.queue.len() >= self.shared.config.queue_bound {
+            self.shared.metrics.shed.incr();
             return Err(Error::Overloaded {
                 queued: state.queue.len(),
                 bound: self.shared.config.queue_bound,
@@ -380,9 +441,25 @@ impl QueryService {
             shared: Arc::clone(&shared),
             request,
         });
+        self.shared.metrics.submitted.incr();
+        self.shared.metrics.queued.set(state.queue.len() as i64);
         drop(state);
         self.shared.work.notify_all();
         Ok(QueryHandle { shared })
+    }
+
+    /// All metrics of the service's stack — admission counters and gauges,
+    /// buffer-pool activity, temp-file I/O, injected faults — rendered in
+    /// the Prometheus text exposition format (version 0.0.4), ready to serve
+    /// from a `/metrics` endpoint.
+    pub fn metrics_text(&self) -> String {
+        self.shared.mgr.metrics().render_prometheus()
+    }
+
+    /// The metrics registry everything is registered on (the buffer
+    /// manager's), for tests and embedders that want typed access.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.shared.mgr.metrics()
     }
 
     /// Queries currently waiting for admission.
@@ -459,11 +536,16 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
             if state.queue[i].shared.cancel.is_cancelled() {
                 let q = state.queue.remove(i).unwrap();
                 let err = q.shared.map_error(Error::Cancelled);
+                shared.metrics.failed.incr();
+                if matches!(err, Error::DeadlineExceeded) {
+                    shared.metrics.deadline_exceeded.incr();
+                }
                 q.shared.finish(Err(err));
             } else {
                 i += 1;
             }
         }
+        shared.metrics.queued.set(state.queue.len() as i64);
 
         // Reap drivers that have finished, so the handle list stays small
         // on a long-running service.
@@ -494,7 +576,9 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
         // succeeds. The reservation is attempted without holding the lock
         // (it may evict, which does I/O).
         let admitted = if state.running < shared.config.max_concurrent {
-            state.queue.pop_front()
+            let q = state.queue.pop_front();
+            shared.metrics.queued.set(state.queue.len() as i64);
+            q
         } else {
             None
         };
@@ -531,12 +615,16 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
                     drop(state);
                     match shared.mgr.reserve(footprint) {
                         Ok(reservation) => launch(shared, q, reservation),
-                        Err(e) => q.shared.finish(Err(e)),
+                        Err(e) => {
+                            shared.metrics.failed.incr();
+                            q.shared.finish(Err(e));
+                        }
                     }
                 } else {
                     // Headroom is low: put the query back at the front (it
                     // keeps its FIFO position) and wait for a completion.
                     state.queue.push_front(q);
+                    shared.metrics.queued.set(state.queue.len() as i64);
                     wait_for_work(shared, &mut state, next_deadline, now);
                 }
             }
@@ -548,7 +636,11 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
 fn launch(shared: &Arc<ServiceShared>, q: QueuedQuery, reservation: MemoryReservation) {
     // Count the query as running before its driver exists, so a driver that
     // finishes instantly cannot underflow the count.
-    shared.state.lock().running += 1;
+    {
+        let mut state = shared.state.lock();
+        state.running += 1;
+        shared.metrics.running.set(state.running as i64);
+    }
     let driver = spawn_driver(shared, q, reservation);
     shared.state.lock().drivers.push(driver);
 }
@@ -585,6 +677,8 @@ fn spawn_driver(
             let queued_for = query.submitted_at.elapsed();
             *query.state.lock() = QueryState::Running;
             let stats_before = service.mgr.stats();
+            let launched_at = Instant::now();
+            service.metrics.queue_wait.observe(queued_for.as_secs_f64());
 
             // The reservation becomes the query's memory *grant*: the
             // operator carves its unspillable allocations (hash-table entry
@@ -599,15 +693,32 @@ fn spawn_driver(
                 })
                 .map_err(|e| query.map_error(e));
 
+            service
+                .metrics
+                .query_duration
+                .observe(launched_at.elapsed().as_secs_f64());
+            match &result {
+                Ok(_) => service.metrics.completed.incr(),
+                Err(e) => {
+                    service.metrics.failed.incr();
+                    if matches!(e, Error::DeadlineExceeded) {
+                        service.metrics.deadline_exceeded.incr();
+                    }
+                }
+            }
             // Release what is left of the grant before completing, so a
             // waiting query observes the headroom as soon as it is notified.
             drop(grant);
-            query.finish(result);
+            // Free the run slot before delivering the result: a caller that
+            // returns from `wait` must already see this query gone from the
+            // running count and gauge.
             {
                 let mut state = service.state.lock();
                 state.running -= 1;
+                service.metrics.running.set(state.running as i64);
             }
             service.work.notify_all();
+            query.finish(result);
         })
         .expect("spawn query driver")
 }

@@ -42,6 +42,16 @@ impl IoOp {
             IoOp::Remove => 3,
         }
     }
+
+    /// Stable lowercase name, used in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOp::Open => "open",
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Remove => "remove",
+        }
+    }
 }
 
 /// The raw file operations the storage layer needs. Implementations must be
@@ -100,6 +110,19 @@ pub enum FaultKind {
     /// Sleep this long, then perform the operation normally. Models a slow
     /// or contended device; combine with a deadline to test cancellation.
     Latency(Duration),
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Enospc => "enospc",
+            FaultKind::Generic => "generic",
+            FaultKind::Transient => "transient",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::Latency(_) => "latency",
+        }
+    }
 }
 
 /// When a rule fires, counted per [`IoOp`] kind (each kind has its own
@@ -194,6 +217,12 @@ pub struct FaultInjector {
     /// Latency faults applied.
     delayed: AtomicU64,
     enabled: AtomicBool,
+    /// Registry-backed mirror of `injected`, when attached (the
+    /// `io_faults_injected` metric the chaos suite asserts on).
+    faults_metric: Option<rexa_obs::Counter>,
+    delays_metric: Option<rexa_obs::Counter>,
+    /// Causal event log, when attached: every armed fault is recorded.
+    trace: Option<rexa_obs::EventTrace>,
 }
 
 impl FaultInjector {
@@ -207,12 +236,37 @@ impl FaultInjector {
             injected: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
+            faults_metric: None,
+            delays_metric: None,
+            trace: None,
         }
     }
 
     /// Builder-style: append a rule.
     pub fn rule(mut self, rule: FaultRule) -> Self {
         self.rules.push(rule);
+        self
+    }
+
+    /// Builder-style: mirror injection counts into `registry` as the
+    /// `io_faults_injected` / `io_fault_delays` counters, so a monitoring
+    /// scrape (or a chaos assertion) sees every armed fault.
+    pub fn with_metrics(mut self, registry: &rexa_obs::MetricsRegistry) -> Self {
+        self.faults_metric = Some(registry.counter(
+            "io_faults_injected",
+            "Error faults injected by the fault-injecting I/O backend.",
+        ));
+        self.delays_metric = Some(registry.counter(
+            "io_fault_delays",
+            "Latency faults applied by the fault-injecting I/O backend.",
+        ));
+        self
+    }
+
+    /// Builder-style: record every armed fault in `trace` with the
+    /// operation kind and fault kind.
+    pub fn with_trace(mut self, trace: rexa_obs::EventTrace) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -261,10 +315,22 @@ impl FaultInjector {
             }
             if let FaultKind::Latency(d) = rule.fault {
                 self.delayed.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.delays_metric {
+                    m.incr();
+                }
                 std::thread::sleep(d);
                 continue; // latency delays; later rules may still fail it
             }
             self.injected.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.faults_metric {
+                m.incr();
+            }
+            if let Some(t) = &self.trace {
+                t.record(rexa_obs::TraceEventKind::FaultInjected {
+                    op: op.name(),
+                    kind: rule.fault.name(),
+                });
+            }
             return Some(rule.fault);
         }
         None
@@ -371,6 +437,38 @@ mod tests {
         assert_eq!(inj.ops_seen(IoOp::Write), 0);
         inj.set_enabled(true);
         assert_eq!(inj.arm(IoOp::Write), Some(FaultKind::Enospc));
+    }
+
+    #[test]
+    fn faults_mirror_into_registry_and_trace() {
+        let registry = rexa_obs::MetricsRegistry::new();
+        let trace = rexa_obs::EventTrace::new(16);
+        let inj = FaultInjector::new(21)
+            .rule(FaultRule::on(
+                IoOp::Write,
+                Schedule::Nth(1),
+                FaultKind::Enospc,
+            ))
+            .rule(FaultRule::on(
+                IoOp::Read,
+                Schedule::Always,
+                FaultKind::Latency(Duration::from_micros(1)),
+            ))
+            .with_metrics(&registry)
+            .with_trace(trace.clone());
+        assert_eq!(inj.arm(IoOp::Write), None);
+        assert_eq!(inj.arm(IoOp::Write), Some(FaultKind::Enospc));
+        assert_eq!(inj.arm(IoOp::Read), None); // latency only
+        let snap = registry.snapshot();
+        assert_eq!(snap.get_counter("io_faults_injected"), 1);
+        assert_eq!(snap.get_counter("io_fault_delays"), 1);
+        // The error fault landed in the trace; the latency delay did not.
+        assert_eq!(trace.len(), 1);
+        let rendered = trace.render();
+        assert!(
+            rendered.contains("fault injected: enospc on write"),
+            "{rendered}"
+        );
     }
 
     #[test]

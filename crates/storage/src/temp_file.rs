@@ -13,6 +13,7 @@
 use crate::io_backend::{IoBackend, StdIo};
 use parking_lot::Mutex;
 use rexa_exec::{Error, Result};
+use rexa_obs::{Counter, Gauge, MetricsRegistry};
 use std::fs::{File, OpenOptions};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,12 +42,15 @@ pub struct TempFileManager {
     next_var: AtomicU64,
     /// Bytes currently occupied on disk by spilled data (fixed slots in use
     /// plus live variable-size files). This is the "size of the temporary
-    /// file" series in the paper's Figure 4.
-    bytes_on_disk: AtomicU64,
+    /// file" series in the paper's Figure 4. Registry-backed when the
+    /// manager is created with a [`MetricsRegistry`]; standalone otherwise
+    /// (the handle works either way — the registry is just where a scrape
+    /// finds it).
+    bytes_on_disk: Gauge,
     /// Cumulative bytes ever written to temp storage.
-    bytes_written: AtomicU64,
+    bytes_written: Counter,
     /// Cumulative bytes ever read back from temp storage.
-    bytes_read: AtomicU64,
+    bytes_read: Counter,
 }
 
 impl TempFileManager {
@@ -70,10 +74,35 @@ impl TempFileManager {
             backend,
             slotted: Mutex::new(SlottedFile::default()),
             next_var: AtomicU64::new(0),
-            bytes_on_disk: AtomicU64::new(0),
-            bytes_written: AtomicU64::new(0),
-            bytes_read: AtomicU64::new(0),
+            bytes_on_disk: Gauge::new(),
+            bytes_written: Counter::new(),
+            bytes_read: Counter::new(),
         })
+    }
+
+    /// Create a manager whose I/O counters live in `registry` (the single
+    /// source of truth; [`bytes_written`](Self::bytes_written) and friends
+    /// read the same registry metrics a Prometheus scrape sees).
+    pub fn with_backend_and_metrics(
+        dir: PathBuf,
+        page_size: usize,
+        backend: Arc<dyn IoBackend>,
+        registry: &MetricsRegistry,
+    ) -> Result<Self> {
+        let mut mgr = Self::with_backend(dir, page_size, backend)?;
+        mgr.bytes_on_disk = registry.gauge(
+            "rexa_temp_bytes_on_disk",
+            "Bytes currently occupied on disk by spilled data.",
+        );
+        mgr.bytes_written = registry.counter(
+            "rexa_temp_bytes_written_total",
+            "Cumulative bytes written to temp storage.",
+        );
+        mgr.bytes_read = registry.counter(
+            "rexa_temp_bytes_read_total",
+            "Cumulative bytes read back from temp storage.",
+        );
+        Ok(mgr)
     }
 
     /// The page size for fixed slots.
@@ -83,17 +112,17 @@ impl TempFileManager {
 
     /// Bytes currently occupied on disk by spilled data.
     pub fn bytes_on_disk(&self) -> u64 {
-        self.bytes_on_disk.load(Ordering::Relaxed)
+        self.bytes_on_disk.get().max(0) as u64
     }
 
     /// Cumulative bytes written to temp storage.
     pub fn bytes_written(&self) -> u64 {
-        self.bytes_written.load(Ordering::Relaxed)
+        self.bytes_written.get()
     }
 
     /// Cumulative bytes read back from temp storage.
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.bytes_read.get()
     }
 
     /// Slots currently holding live spilled pages (in use = allocated minus
@@ -147,10 +176,8 @@ impl TempFileManager {
             return Err(e);
         }
         drop(inner);
-        self.bytes_on_disk
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
-        self.bytes_written
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.bytes_on_disk.add(self.page_size as i64);
+        self.bytes_written.add(self.page_size as u64);
         Ok(slot)
     }
 
@@ -173,10 +200,8 @@ impl TempFileManager {
             .read_at(file, buf, slot * self.page_size as u64)?;
         inner.free.push(slot);
         drop(inner);
-        self.bytes_on_disk
-            .fetch_sub(self.page_size as u64, Ordering::Relaxed);
-        self.bytes_read
-            .fetch_add(self.page_size as u64, Ordering::Relaxed);
+        self.bytes_on_disk.sub(self.page_size as i64);
+        self.bytes_read.add(self.page_size as u64);
         Ok(())
     }
 
@@ -184,8 +209,7 @@ impl TempFileManager {
     /// "this frees up disk space if the page was spilled").
     pub fn free_slot(&self, slot: SlotId) {
         self.slotted.lock().free.push(slot);
-        self.bytes_on_disk
-            .fetch_sub(self.page_size as u64, Ordering::Relaxed);
+        self.bytes_on_disk.sub(self.page_size as i64);
     }
 
     fn var_path(&self, id: VarId) -> PathBuf {
@@ -209,10 +233,8 @@ impl TempFileManager {
             let _ = std::fs::remove_file(&path); // torn spill: drop the debris
             return Err(e.into());
         }
-        self.bytes_on_disk
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_on_disk.add(data.len() as i64);
+        self.bytes_written.add(data.len() as u64);
         Ok(id)
     }
 
@@ -225,17 +247,15 @@ impl TempFileManager {
         self.backend.read_at(&file, buf, 0)?;
         drop(file);
         self.backend.remove(&path)?;
-        self.bytes_on_disk
-            .fetch_sub(buf.len() as u64, Ordering::Relaxed);
-        self.bytes_read
-            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.bytes_on_disk.sub(buf.len() as i64);
+        self.bytes_read.add(buf.len() as u64);
         Ok(())
     }
 
     /// Delete a spilled variable-size buffer without reading it.
     pub fn free_var(&self, id: VarId, size: usize) -> Result<()> {
         self.backend.remove(&self.var_path(id))?;
-        self.bytes_on_disk.fetch_sub(size as u64, Ordering::Relaxed);
+        self.bytes_on_disk.sub(size as i64);
         Ok(())
     }
 }
@@ -323,6 +343,30 @@ mod tests {
         t.write_var(&[0u8; 10]).unwrap();
         assert_eq!(t.bytes_written(), 74);
         assert_eq!(t.bytes_read(), 64);
+    }
+
+    #[test]
+    fn registry_backed_counters_match_accessors() {
+        let registry = rexa_obs::MetricsRegistry::new();
+        let t = TempFileManager::with_backend_and_metrics(
+            scratch_dir("tmpmetrics").unwrap(),
+            64,
+            Arc::new(crate::io_backend::StdIo),
+            &registry,
+        )
+        .unwrap();
+        let s = t.write_slot(&[1u8; 64]).unwrap();
+        t.write_var(&[2u8; 100]).unwrap();
+        let mut buf = [0u8; 64];
+        t.read_slot(s, &mut buf).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.get_counter("rexa_temp_bytes_written_total"), 164);
+        assert_eq!(snap.get_counter("rexa_temp_bytes_read_total"), 64);
+        assert_eq!(snap.get_gauge("rexa_temp_bytes_on_disk"), 100);
+        // The accessors read the very same registry metrics.
+        assert_eq!(t.bytes_written(), 164);
+        assert_eq!(t.bytes_read(), 64);
+        assert_eq!(t.bytes_on_disk(), 100);
     }
 
     #[test]

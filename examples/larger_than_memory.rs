@@ -79,6 +79,10 @@ fn main() -> rexa_exec::Result<()> {
     );
     assert_eq!(groups.load(Ordering::Relaxed), rows as usize);
 
+    // The per-query execution profile, EXPLAIN ANALYZE style. CI greps this
+    // report for nonzero spill_bytes_written to pin the spill path down.
+    println!("\n{}", stats.profile.render());
+
     // The in-memory baseline under the same limit: aborts.
     let source = CollectionSource::new(&input);
     match in_memory_aggregate(

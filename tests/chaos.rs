@@ -24,6 +24,7 @@ use rexa_core::simple::{reference_aggregate, sorted_rows};
 use rexa_core::{hash_aggregate_collect, AggregateConfig, AggregateSpec, HashAggregatePlan};
 use rexa_exec::pipeline::CollectionSource;
 use rexa_exec::{ChunkCollection, DataChunk, Error, LogicalType, Value, VECTOR_SIZE};
+use rexa_obs::{EventTrace, MetricsRegistry, TraceEventKind};
 use rexa_storage::{scratch_dir, FaultInjector, FaultKind, FaultRule, IoBackend, IoOp, Schedule};
 use std::sync::Arc;
 use std::time::Duration;
@@ -154,8 +155,16 @@ fn build_collection(case: &ChaosCase) -> ChunkCollection {
     coll
 }
 
-fn build_injector(case: &ChaosCase) -> Arc<FaultInjector> {
-    let mut inj = FaultInjector::new(case.injector_seed);
+/// Registry + trace shared between the injector and the buffer manager, so
+/// one scrape (and one trace dump) covers faults, spills, and evictions.
+fn build_injector(
+    case: &ChaosCase,
+    registry: &Arc<MetricsRegistry>,
+    trace: &EventTrace,
+) -> Arc<FaultInjector> {
+    let mut inj = FaultInjector::new(case.injector_seed)
+        .with_metrics(registry)
+        .with_trace(trace.clone());
     for spec in &case.rules {
         inj = inj.rule(match spec.op {
             Some(op) => FaultRule::on(op, spec.schedule, spec.fault),
@@ -177,12 +186,19 @@ fn plan() -> HashAggregatePlan {
     }
 }
 
-fn chaos_mgr(limit_kib: usize, injector: &Arc<FaultInjector>) -> Arc<BufferManager> {
+fn chaos_mgr(
+    limit_kib: usize,
+    injector: &Arc<FaultInjector>,
+    registry: &Arc<MetricsRegistry>,
+    trace: &EventTrace,
+) -> Arc<BufferManager> {
     BufferManager::new(
         BufferManagerConfig::with_limit(limit_kib << 10)
             .page_size(4 << 10)
             .temp_dir(scratch_dir("chaos").unwrap())
             .io_backend(Arc::clone(injector) as Arc<dyn IoBackend>)
+            .metrics(Arc::clone(registry))
+            .trace(trace.clone())
             // Keep retries fast: transient faults may fire on every attempt.
             .spill_backoff(Duration::from_micros(200)),
     )
@@ -217,8 +233,10 @@ proptest! {
     #[test]
     fn faulted_runs_match_oracle_or_fail_typed(case in case_strategy()) {
         let coll = build_collection(&case);
-        let injector = build_injector(&case);
-        let mgr = chaos_mgr(case.limit_kib, &injector);
+        let registry = MetricsRegistry::new();
+        let trace = EventTrace::with_default_capacity();
+        let injector = build_injector(&case, &registry, &trace);
+        let mgr = chaos_mgr(case.limit_kib, &injector, &registry, &trace);
         let baseline = mgr.stats();
         let config = AggregateConfig {
             threads: case.threads,
@@ -243,26 +261,59 @@ proptest! {
                 prop_assert!(
                     rows_approx_eq(&got, &want),
                     "faulted run returned WRONG ANSWER: got {} groups, want {} \
-                     (injected={} delayed={})",
-                    got.len(), want.len(), injector.injected(), injector.delayed()
+                     (injected={} delayed={})\nevent trace:\n{}",
+                    got.len(), want.len(), injector.injected(), injector.delayed(),
+                    trace.render()
                 );
                 prop_assert_eq!(stats.groups, want.len());
             }
             Err(e) => prop_assert!(
                 legal_failure(&e),
-                "illegal error under fault injection: {e} (injected={})",
-                injector.injected()
+                "illegal error under fault injection: {e} (injected={})\nevent trace:\n{}",
+                injector.injected(), trace.render()
             ),
+        }
+
+        // Every fault the injector fired is visible on the shared registry,
+        // and faults that fired left a FaultInjected trace event (the trace
+        // is a bounded ring, so only demand events when nothing rotated out).
+        let injected = injector.injected();
+        prop_assert_eq!(
+            registry.snapshot().get_counter("io_faults_injected"),
+            injected,
+            "io_faults_injected metric out of step with the injector"
+        );
+        if injected > 0 && trace.dropped() == 0 {
+            prop_assert!(
+                trace.count_matching(|k| matches!(k, TraceEventKind::FaultInjected { .. })) > 0,
+                "faults fired but none were traced:\n{}",
+                trace.render()
+            );
         }
 
         // Success or failure, the manager is back at its baseline: the
         // query leaked nothing and poisoned nothing.
         let after = mgr.stats();
-        prop_assert_eq!(after.temporary_resident, 0, "leaked temporary pages");
-        prop_assert_eq!(after.non_paged, 0, "leaked reservation");
-        prop_assert_eq!(after.temp_bytes_on_disk, 0, "leaked spill bytes");
-        prop_assert_eq!(mgr.temp_slots_in_use(), 0, "leaked temp-file slot");
-        prop_assert_eq!(after.memory_used, baseline.memory_used);
+        prop_assert_eq!(
+            after.temporary_resident, 0,
+            "leaked temporary pages\nevent trace:\n{}", trace.render()
+        );
+        prop_assert_eq!(
+            after.non_paged, 0,
+            "leaked reservation\nevent trace:\n{}", trace.render()
+        );
+        prop_assert_eq!(
+            after.temp_bytes_on_disk, 0,
+            "leaked spill bytes\nevent trace:\n{}", trace.render()
+        );
+        prop_assert_eq!(
+            mgr.temp_slots_in_use(), 0,
+            "leaked temp-file slot\nevent trace:\n{}", trace.render()
+        );
+        prop_assert_eq!(
+            after.memory_used, baseline.memory_used,
+            "memory not back at baseline\nevent trace:\n{}", trace.render()
+        );
 
         // And the manager is still usable: a small fault-free follow-up
         // query over the same manager succeeds. (Lift the case's limit
@@ -288,15 +339,22 @@ proptest! {
 /// "disk" recovers the same manager serves the same query correctly.
 #[test]
 fn total_enospc_on_spill_writes_fails_spilling_queries_typed() {
-    let injector = Arc::new(FaultInjector::new(0xC0FFEE).rule(FaultRule::on(
-        IoOp::Write,
-        Schedule::Always,
-        FaultKind::Enospc,
-    )));
+    let registry = MetricsRegistry::new();
+    let trace = EventTrace::with_default_capacity();
+    let injector = Arc::new(
+        FaultInjector::new(0xC0FFEE)
+            .with_metrics(&registry)
+            .with_trace(trace.clone())
+            .rule(FaultRule::on(
+                IoOp::Write,
+                Schedule::Always,
+                FaultKind::Enospc,
+            )),
+    );
     // 1.5 MiB: above the operator's pinned floor (threads x partitions x 2
     // pages + hash-table reservations) but far below the ~4 MiB of
     // intermediates, so spilling is mandatory.
-    let mgr = chaos_mgr(1536, &injector);
+    let mgr = chaos_mgr(1536, &injector, &registry, &trace);
     let baseline = mgr.stats();
     let plan = plan();
     let config = AggregateConfig {
@@ -336,6 +394,22 @@ fn total_enospc_on_spill_writes_fails_spilling_queries_typed() {
     }
     assert!(mgr.stats().spill_failures >= 3, "{:?}", mgr.stats());
 
+    // Every injected ENOSPC is counted on the shared registry, and the
+    // failure left FaultInjected + Degradation events in the trace.
+    let snap = registry.snapshot();
+    assert_eq!(snap.get_counter("io_faults_injected"), injector.injected());
+    assert!(snap.get_counter("io_faults_injected") >= 3, "{snap:?}");
+    assert!(
+        trace.count_matching(|k| matches!(k, TraceEventKind::FaultInjected { .. })) > 0,
+        "no FaultInjected events traced:\n{}",
+        trace.render()
+    );
+    assert!(
+        trace.count_matching(|k| matches!(k, TraceEventKind::Degradation { .. })) >= 3,
+        "abandoned spills must leave Degradation events:\n{}",
+        trace.render()
+    );
+
     // Disk "recovers": the same query over the same manager now succeeds
     // and matches the oracle. A little more headroom for phase 2's pinned
     // partitions — still far below the intermediate size, so the recovery
@@ -366,12 +440,19 @@ fn total_enospc_on_spill_writes_fails_spilling_queries_typed() {
 #[test]
 fn torn_spill_writes_never_corrupt_results() {
     for seed in 0..8u64 {
-        let injector = Arc::new(FaultInjector::new(seed).rule(FaultRule::on(
-            IoOp::Write,
-            Schedule::Probability(0.3),
-            FaultKind::TornWrite,
-        )));
-        let mgr = chaos_mgr(256, &injector);
+        let registry = MetricsRegistry::new();
+        let trace = EventTrace::with_default_capacity();
+        let injector = Arc::new(
+            FaultInjector::new(seed)
+                .with_metrics(&registry)
+                .with_trace(trace.clone())
+                .rule(FaultRule::on(
+                    IoOp::Write,
+                    Schedule::Probability(0.3),
+                    FaultKind::TornWrite,
+                )),
+        );
+        let mgr = chaos_mgr(256, &injector, &registry, &trace);
         let plan = plan();
         let config = AggregateConfig {
             threads: 2,
@@ -401,5 +482,10 @@ fn torn_spill_writes_never_corrupt_results() {
         assert_eq!(s.temporary_resident, 0, "seed {seed}: {s:?}");
         assert_eq!(s.temp_bytes_on_disk, 0, "seed {seed}: {s:?}");
         assert_eq!(mgr.temp_slots_in_use(), 0, "seed {seed}");
+        assert_eq!(
+            registry.snapshot().get_counter("io_faults_injected"),
+            injector.injected(),
+            "seed {seed}: metric out of step with the injector"
+        );
     }
 }

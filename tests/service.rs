@@ -551,6 +551,156 @@ fn injected_spill_latency_trips_deadline_and_counts_retries() {
     assert_eq!(out.stats.groups, 200);
 }
 
+/// Service counters and gauges track the query lifecycle: submissions and
+/// completions are counted, the queue/running gauges return to zero, and the
+/// duration histogram records one observation per finished query.
+#[test]
+fn service_metrics_track_query_lifecycle() {
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::with_defaults(mgr);
+    let input = make_input(20_000, 500);
+    let handles: Vec<_> = (0..3)
+        .map(|_| service.submit(grouping_request(&input)).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().expect("query must complete");
+    }
+
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.get_counter("rexa_queries_submitted_total"), 3);
+    assert_eq!(snap.get_counter("rexa_queries_completed_total"), 3);
+    assert_eq!(snap.get_counter("rexa_queries_failed_total"), 0);
+    assert_eq!(snap.get_counter("rexa_queries_shed_total"), 0);
+    assert_eq!(snap.get_gauge("rexa_queries_queued"), 0);
+    assert_eq!(snap.get_gauge("rexa_queries_running"), 0);
+
+    // One duration and one queue-wait observation per completed query.
+    let text = service.metrics_text();
+    assert!(
+        text.contains("rexa_query_duration_seconds_count 3"),
+        "missing duration observations:\n{text}"
+    );
+    assert!(
+        text.contains("rexa_query_queue_wait_seconds_count 3"),
+        "missing queue-wait observations:\n{text}"
+    );
+}
+
+/// Shed submissions and expired deadlines increment their dedicated
+/// counters; a deadline expiry also counts as a failure.
+#[test]
+fn shed_and_deadline_metrics_are_counted() {
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 1,
+            queue_bound: 2,
+        },
+    );
+    let input = make_input(60_000, 60_000);
+
+    let mut accepted = Vec::new();
+    for _ in 0..32 {
+        match service.submit(grouping_request(&input)) {
+            Ok(h) => accepted.push(h),
+            Err(Error::Overloaded { .. }) => break,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.get_counter("rexa_queries_shed_total"), 1);
+    assert_eq!(
+        snap.get_counter("rexa_queries_submitted_total"),
+        accepted.len() as u64,
+        "shed submissions must not count as submitted"
+    );
+    for h in accepted {
+        h.wait().expect("accepted queries still complete");
+    }
+
+    // A 1 ms deadline against a long all-distinct query must expire.
+    let mut request = grouping_request(&make_input(400_000, 400_000));
+    request.options.deadline = Some(Duration::from_millis(1));
+    let handle = service.submit(request).unwrap();
+    match handle.wait() {
+        Err(Error::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.get_counter("rexa_queries_deadline_exceeded_total"), 1);
+    assert_eq!(snap.get_counter("rexa_queries_failed_total"), 1);
+}
+
+/// `metrics_text` renders one unified, well-formed Prometheus exposition:
+/// service metrics and buffer-manager metrics share the scrape, every
+/// sample line parses, and every sample is preceded by HELP/TYPE headers.
+#[test]
+fn metrics_text_is_one_valid_prometheus_scrape() {
+    let footprint = grouping_footprint(80_000);
+    let mgr = mgr_with(footprint + footprint / 2); // tight: force spilling
+    let service = QueryService::with_defaults(mgr);
+    let out = service
+        .submit(grouping_request(&make_input(80_000, 80_000)))
+        .unwrap()
+        .wait()
+        .expect("query must complete");
+    assert!(
+        out.buffer.evictions_temporary > 0,
+        "scenario must spill: {:?}",
+        out.buffer
+    );
+
+    let text = service.metrics_text();
+    // One scrape carries both layers.
+    for name in [
+        "rexa_queries_submitted_total",
+        "rexa_query_duration_seconds",
+        "rexa_allocations_total",
+        "rexa_evictions_temporary_total",
+        "rexa_temp_bytes_written_total",
+    ] {
+        assert!(text.contains(name), "missing {name} in scrape:\n{text}");
+    }
+
+    // Exposition validity: every non-comment line is `name[{labels}] value`
+    // with a parseable finite value, and is covered by HELP and TYPE.
+    let mut described = std::collections::HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kw = parts.next().unwrap();
+            let name = parts.next().expect("header names a metric");
+            assert!(kw == "HELP" || kw == "TYPE", "bad comment: {line}");
+            if kw == "TYPE" {
+                let ty = parts.next().expect("TYPE has a kind");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&ty),
+                    "bad TYPE: {line}"
+                );
+            }
+            described.insert(name.to_string());
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+        let base = name_part.split('{').next().unwrap();
+        let base = base
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_count")
+            .trim_end_matches("_sum");
+        assert!(
+            described.contains(base),
+            "sample {line} not covered by HELP/TYPE"
+        );
+        let v: f64 = value.parse().expect("sample value parses");
+        assert!(v.is_finite(), "non-finite sample: {line}");
+    }
+}
+
 /// Service results match a direct single-query run.
 #[test]
 fn service_results_are_correct() {
