@@ -36,9 +36,14 @@ PROFILE_KEYS = {
     "spill_bytes_written": int,
     "spill_bytes_read": int,
     "evictions": int,
+    "readahead_hits": int,
+    "readahead_misses": int,
+    "io_overlap_secs": float,
 }
 
-EXPECTED_WORKLOADS = ["thin_int", "wide_multi_key", "string_key"]
+# Kernel-comparison workloads carry scalar/vectorized measurements; the
+# "external" workload compares sync vs async I/O scheduling instead.
+EXPECTED_WORKLOADS = ["thin_int", "wide_multi_key", "string_key", "external"]
 
 
 def fail(msg):
@@ -98,15 +103,17 @@ def main():
         for key in ("rows", "groups"):
             if not isinstance(w.get(key), int) or w[key] <= 0:
                 fail(f"{name}.{key}: expected positive integer, got {w.get(key)!r}")
-        for mode in ("scalar", "vectorized"):
+        modes = ("sync", "async") if name == "external" else ("scalar", "vectorized")
+        speedup_key = "io_speedup" if name == "external" else "phase1_speedup"
+        for mode in modes:
             if mode not in w:
                 fail(f"{name}: missing {mode!r} measurement")
             check_measurement(w[mode], f"{name}.{mode}")
-        speedup = w.get("phase1_speedup")
+        speedup = w.get(speedup_key)
         if not isinstance(speedup, (int, float)) or speedup < 0:
-            fail(f"{name}.phase1_speedup: expected non-negative number, got {speedup!r}")
-        if w["scalar"]["groups"] != w["vectorized"]["groups"]:
-            fail(f"{name}: scalar and vectorized disagree on group count")
+            fail(f"{name}.{speedup_key}: expected non-negative number, got {speedup!r}")
+        if w[modes[0]]["groups"] != w[modes[1]]["groups"]:
+            fail(f"{name}: {modes[0]} and {modes[1]} disagree on group count")
 
     print(f"schema check OK: {len(workloads)} workloads")
 

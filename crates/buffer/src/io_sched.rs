@@ -1,0 +1,254 @@
+//! Background I/O scheduler: spill writes and read-ahead off the compute
+//! threads.
+//!
+//! The paper's premise is that an SSD only delivers its bandwidth at queue
+//! depth: a single thread doing synchronous pwrite/pread per page leaves
+//! most of the device idle. The scheduler decouples I/O submission from the
+//! threads doing aggregation in both directions:
+//!
+//! * **Eviction spills become background writes.** The reservation path
+//!   submits victim blocks to a small writer pool instead of writing
+//!   inline. The victim's bytes stay accounted to its category until the
+//!   write durably completes — memory accounting never runs ahead of the
+//!   disk. Write failures are *deferred*: the block keeps its buffer, is
+//!   re-enqueued for eviction, and the typed
+//!   [`SpillFailed`](rexa_exec::Error::SpillFailed) surfaces on the next
+//!   foreground reservation or at [`BufferManager::drain_io`], preserving
+//!   the retry/backoff and non-poisoning semantics of the synchronous path.
+//! * **Phase-2 read-ahead.** [`BufferManager::prefetch`] admits a spilled
+//!   block's bytes (without evicting anything) and submits a background
+//!   read that leaves the block loaded-but-unpinned, so the merge worker's
+//!   `pin_all` is a residency hit instead of a serialized read.
+//!
+//! The in-flight write volume is bounded (`io_inflight_bytes`) so a burst
+//! of evictions cannot queue an unbounded amount of memory that the
+//! foreground believes is about to be freed.
+
+use crate::handle::BlockHandle;
+use crate::manager::BufferManager;
+use parking_lot::{Condvar, Mutex};
+use rexa_exec::{spawn_named, Error};
+use rexa_obs::Gauge;
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One unit of background I/O. Jobs hold a strong handle so the block
+/// cannot be destroyed mid-I/O; the worker drops it *before* signalling
+/// completion, so "drained" implies every destroy side-effect has run.
+enum IoJob {
+    /// Write an evicted victim's buffer to temp storage.
+    SpillWrite(Arc<BlockHandle>),
+    /// Load a spilled block back into loaded-but-unpinned residency.
+    PrefetchRead(Arc<BlockHandle>),
+}
+
+struct SchedState {
+    /// Pending read-ahead loads. Served before writes: a late read is a
+    /// stalled merge worker, a late write only delays reclamation.
+    reads: VecDeque<IoJob>,
+    /// Pending spill writes.
+    writes: VecDeque<IoJob>,
+    /// Jobs popped by a worker but not yet completed.
+    active: usize,
+    /// Bytes of submitted-but-incomplete spill writes (the eviction path's
+    /// admission bound; reads are bounded by admission-only reservations).
+    inflight_write_bytes: usize,
+    /// Deferred background-write failures, surfaced on the next foreground
+    /// reservation or drain.
+    errors: VecDeque<Error>,
+    shutdown: bool,
+}
+
+struct SchedShared {
+    state: Mutex<SchedState>,
+    /// Wakes workers: a job was queued or shutdown was signalled.
+    work_cv: Condvar,
+    /// Wakes foreground waiters: a job completed.
+    done_cv: Condvar,
+    queue_depth: Gauge,
+}
+
+/// Handle to the writer/reader pool, owned by the [`BufferManager`].
+pub(crate) struct IoScheduler {
+    shared: Arc<SchedShared>,
+    inflight_limit: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for IoScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.shared.state.lock();
+        f.debug_struct("IoScheduler")
+            .field("queued", &(s.reads.len() + s.writes.len()))
+            .field("active", &s.active)
+            .field("inflight_write_bytes", &s.inflight_write_bytes)
+            .finish()
+    }
+}
+
+impl IoScheduler {
+    /// Spawn `writers` I/O worker threads. `mgr` must be the weak self
+    /// reference of the owning manager (workers upgrade it per job, so the
+    /// pool never keeps the manager alive).
+    pub(crate) fn start(
+        writers: usize,
+        inflight_limit: usize,
+        mgr: Weak<BufferManager>,
+        queue_depth: Gauge,
+    ) -> Self {
+        let shared = Arc::new(SchedShared {
+            state: Mutex::new(SchedState {
+                reads: VecDeque::new(),
+                writes: VecDeque::new(),
+                active: 0,
+                inflight_write_bytes: 0,
+                errors: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            queue_depth,
+        });
+        let workers = (0..writers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let mgr = mgr.clone();
+                spawn_named(format!("rexa-io-{i}"), move || worker_loop(&shared, &mgr))
+            })
+            .collect();
+        IoScheduler {
+            shared,
+            inflight_limit,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a victim for a background spill write if it fits under the
+    /// in-flight byte bound. A single write is always admissible when
+    /// nothing is in flight, so one oversized buffer cannot deadlock the
+    /// reservation path.
+    pub(crate) fn try_submit_write(&self, handle: Arc<BlockHandle>) -> bool {
+        let bytes = handle.size();
+        let mut s = self.shared.state.lock();
+        if s.inflight_write_bytes > 0 && s.inflight_write_bytes + bytes > self.inflight_limit {
+            return false;
+        }
+        s.inflight_write_bytes += bytes;
+        s.writes.push_back(IoJob::SpillWrite(handle));
+        self.shared.queue_depth.add(1);
+        drop(s);
+        self.shared.work_cv.notify_one();
+        true
+    }
+
+    /// Submit a background read-ahead load. The caller has already admitted
+    /// the block's bytes.
+    pub(crate) fn submit_read(&self, handle: Arc<BlockHandle>) {
+        let mut s = self.shared.state.lock();
+        s.reads.push_back(IoJob::PrefetchRead(handle));
+        self.shared.queue_depth.add(1);
+        drop(s);
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Take the deferred errors, returning the first. All are drained so a
+    /// single burst of background failures cannot poison follow-up queries
+    /// one error at a time.
+    pub(crate) fn take_error(&self) -> Option<Error> {
+        let mut s = self.shared.state.lock();
+        let first = s.errors.pop_front();
+        s.errors.clear();
+        first
+    }
+
+    /// True while any job is queued or running.
+    pub(crate) fn has_pending(&self) -> bool {
+        let s = self.shared.state.lock();
+        !s.reads.is_empty() || !s.writes.is_empty() || s.active > 0
+    }
+
+    /// The configured in-flight write byte bound.
+    pub(crate) fn inflight_limit(&self) -> usize {
+        self.inflight_limit
+    }
+
+    /// Block until a completion (or deferred error) is observed, bounded by
+    /// a short timeout so a missed wakeup degrades to a retry, not a hang.
+    pub(crate) fn wait_event(&self) {
+        let mut s = self.shared.state.lock();
+        if (s.reads.is_empty() && s.writes.is_empty() && s.active == 0) || !s.errors.is_empty() {
+            return;
+        }
+        self.shared
+            .done_cv
+            .wait_for(&mut s, Duration::from_millis(10));
+    }
+
+    /// Wait until every submitted job has completed.
+    pub(crate) fn drain(&self) {
+        let mut s = self.shared.state.lock();
+        while !s.reads.is_empty() || !s.writes.is_empty() || s.active > 0 {
+            self.shared
+                .done_cv
+                .wait_for(&mut s, Duration::from_millis(10));
+        }
+    }
+
+    /// Signal shutdown and join the workers. Queued jobs are drained first;
+    /// with the manager already unreachable they become no-ops.
+    pub(crate) fn shutdown_and_join(&self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.work_cv.notify_all();
+        for w in self.workers.lock().drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &SchedShared, mgr: &Weak<BufferManager>) {
+    loop {
+        let job = {
+            let mut s = shared.state.lock();
+            loop {
+                if let Some(job) = s.reads.pop_front().or_else(|| s.writes.pop_front()) {
+                    s.active += 1;
+                    break job;
+                }
+                if s.shutdown {
+                    return;
+                }
+                shared.work_cv.wait(&mut s);
+            }
+        };
+        let write_bytes = match &job {
+            IoJob::SpillWrite(h) => Some(h.size()),
+            IoJob::PrefetchRead(_) => None,
+        };
+        // If the manager is gone (tear-down), the job is a no-op: the block
+        // handles themselves are owned elsewhere and clean up on drop.
+        let err = match (mgr.upgrade(), &job) {
+            (None, _) => None,
+            (Some(m), IoJob::SpillWrite(h)) => m.bg_spill(h),
+            (Some(m), IoJob::PrefetchRead(h)) => {
+                m.bg_prefetch(h);
+                None
+            }
+        };
+        // Drop the strong handle before signalling: a foreground
+        // drain-then-destroy must observe the destroy side-effects.
+        drop(job);
+        let mut s = shared.state.lock();
+        s.active -= 1;
+        if let Some(b) = write_bytes {
+            s.inflight_write_bytes -= b;
+        }
+        if let Some(e) = err {
+            s.errors.push_back(e);
+        }
+        shared.queue_depth.sub(1);
+        drop(s);
+        shared.done_cv.notify_all();
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod eviction;
 pub mod handle;
+mod io_sched;
 pub mod manager;
 pub mod raw;
 pub mod stats;

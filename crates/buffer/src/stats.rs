@@ -40,6 +40,18 @@ pub struct BufferStats {
     /// surfaced as an [`Error::SpillFailed`](rexa_exec::Error::SpillFailed)
     /// to the query that needed the memory).
     pub spill_failures: u64,
+    /// Pins that found their block already resident thanks to a background
+    /// read-ahead load (the pin that would have been a synchronous read).
+    pub readahead_hits: u64,
+    /// Read-ahead attempts that did not help: no memory headroom, the
+    /// background read failed, or the page was evicted again before use.
+    pub readahead_misses: u64,
+    /// Cumulative nanoseconds the background writers spent in spill writes
+    /// — I/O that overlapped with computation instead of stalling it.
+    pub bg_write_nanos: u64,
+    /// Cumulative nanoseconds the background readers spent in read-ahead
+    /// loads.
+    pub readahead_nanos: u64,
 }
 
 impl BufferStats {
@@ -61,6 +73,10 @@ impl BufferStats {
             allocations: self.allocations - earlier.allocations,
             spill_retries: self.spill_retries - earlier.spill_retries,
             spill_failures: self.spill_failures - earlier.spill_failures,
+            readahead_hits: self.readahead_hits - earlier.readahead_hits,
+            readahead_misses: self.readahead_misses - earlier.readahead_misses,
+            bg_write_nanos: self.bg_write_nanos - earlier.bg_write_nanos,
+            readahead_nanos: self.readahead_nanos - earlier.readahead_nanos,
         }
     }
 }

@@ -232,6 +232,101 @@ fn every_snapshot_is_internally_consistent_under_load() {
     assert_eq!(st.memory_used, 0, "leak: {st:?}");
 }
 
+/// With background I/O workers, eviction writes are in flight on scheduler
+/// threads while queries keep allocating — and a victim's bytes stay in the
+/// accounting until its write durably completes. Every snapshot taken during
+/// that window must still decompose exactly (`used == persistent +
+/// temporary + non_paged`), and after draining, everything returns to zero.
+#[test]
+fn every_snapshot_is_consistent_with_writes_in_flight() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(8 * PAGE)
+            .page_size(PAGE)
+            .policy(EvictionPolicy::Mixed)
+            .temp_dir(scratch_dir("acct-async").unwrap())
+            .io_writers(2),
+    )
+    .unwrap();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Mutators: churn pages through the tight pool so background spills
+        // are continuously in flight, re-pin spilled pages (foreground
+        // loads), and issue advisory prefetches (background loads).
+        for t in 0..3u32 {
+            let mgr = Arc::clone(&mgr);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut handles = Vec::new();
+                let mut round = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    round += 1;
+                    if let Ok((h, p)) = mgr.allocate_page() {
+                        p.write_at(0, &[t as u8 + 1; PAGE]);
+                        drop(p);
+                        handles.push(h);
+                    }
+                    if handles.len() > 6 {
+                        handles.drain(0..3);
+                    }
+                    if round % 3 == t % 3 {
+                        if let Some(h) = handles.first() {
+                            let _ = mgr.pin(h);
+                        }
+                    }
+                    if round % 5 == t % 5 {
+                        if let Some(h) = handles.last() {
+                            mgr.prefetch(h);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Observers: the invariant must hold on every single snapshot,
+        // including those taken mid-background-write.
+        let mut observers = Vec::new();
+        for _ in 0..2 {
+            let mgr = Arc::clone(&mgr);
+            let stop = &stop;
+            observers.push(s.spawn(move || {
+                let mut snapshots = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let st = mgr.stats();
+                    assert_eq!(
+                        st.memory_used,
+                        st.persistent_resident + st.temporary_resident + st.non_paged,
+                        "inconsistent snapshot with writes in flight: {st:?}"
+                    );
+                    assert!(st.memory_used <= st.memory_limit, "over limit: {st:?}");
+                    snapshots += 1;
+                }
+                snapshots
+            }));
+        }
+
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        stop.store(true, Ordering::Relaxed);
+        for obs in observers {
+            let seen = obs.join().unwrap();
+            assert!(seen > 100, "observer starved: only {seen} snapshots");
+        }
+    });
+
+    // The churn must actually have used the background path.
+    let st = mgr.stats();
+    assert!(
+        st.evictions_temporary > 0 && st.bg_write_nanos > 0,
+        "background spill path never exercised: {st:?}"
+    );
+    // After the last handle drops and in-flight I/O drains, nothing leaks.
+    mgr.drain_io().unwrap();
+    let st = mgr.stats();
+    assert_eq!(st.memory_used, 0, "leak: {st:?}");
+    assert_eq!(st.temp_bytes_on_disk, 0, "leaked spill space: {st:?}");
+}
+
 /// A one-page pool forces every allocation through the evict-and-reuse path,
 /// which hands the victim's bytes to the new owner by a category transfer in
 /// one critical section; a reader racing that handoff must still see a

@@ -90,6 +90,12 @@ pub struct AggregateConfig {
     /// Hot-path implementation (vectorized by default; scalar oracle for
     /// differential testing and benchmarking).
     pub kernel_mode: KernelMode,
+    /// Partitions beyond the merge frontier whose spilled pages phase 2
+    /// prefetches in the background (0 disables read-ahead). Only effective
+    /// when the buffer manager runs background I/O workers
+    /// (`BufferManagerConfig::io_writers`); a synchronous manager ignores
+    /// prefetch requests.
+    pub readahead_depth: usize,
 }
 
 impl Default for AggregateConfig {
@@ -103,6 +109,7 @@ impl Default for AggregateConfig {
             output_chunk_size: VECTOR_SIZE,
             reset_fill_percent: 66,
             kernel_mode: KernelMode::Vectorized,
+            readahead_depth: 2,
         }
     }
 }
@@ -966,6 +973,18 @@ fn finalize_partition(
     Ok(())
 }
 
+/// Phase-2 merge schedule: partition indices ordered by payload size,
+/// largest first (longest-processing-time-first). Radix partitioning over
+/// skewed keys produces wildly uneven partitions; claiming the giants first
+/// keeps them off the tail of the schedule, where a straggler would run
+/// alone while every other worker idles. Ties break on the lower index so
+/// the schedule is deterministic.
+fn lpt_order(sizes: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    order
+}
+
 /// Run the full aggregation, streaming output chunks to `consumer` (which is
 /// called concurrently from the phase-2 tasks).
 pub fn hash_aggregate_streaming(
@@ -1035,40 +1054,103 @@ pub fn hash_aggregate_streaming_ctx(
         resets: AtomicU64::new(0),
     };
 
-    collector.set_phase(Phase::Probe);
-    let t0 = Instant::now();
-    Pipeline::run_ctx(source, &sink, config.threads, ctx)?;
-    let phase1 = t0.elapsed();
-    collector.set_phase_wall(Phase::Probe, phase1);
-
-    ctx.check_cancelled()?;
-    // The partition handoff: thread-local partitions were combined into the
-    // shared set during sink-combine; what is left here is taking ownership
-    // for phase 2. Spill traffic happens *throughout* phase 1 (the buffer
-    // manager evicts unpinned partition pages whenever memory runs short),
-    // so the spill/partition row of the profile carries the spill byte
-    // counts rather than a meaningful wall time of its own.
-    collector.set_phase(Phase::Partition);
-    let t_part = Instant::now();
-    let shared = Mutex::new(sink.shared.into_inner());
     let partitions = 1usize << radix_bits;
-    collector.add_partitions(partitions as u64);
-    collector.set_phase_wall(Phase::Partition, t_part.elapsed());
-
-    collector.set_phase(Phase::Merge);
-    let t1 = Instant::now();
     let groups_out = AtomicUsize::new(0);
-    parallel_for_ctx(partitions, config.threads, ctx, &|p| {
-        let part = shared.lock().take_partition(p);
-        finalize_partition(&bound, mgr, config, ctx, part, consumer, &groups_out)
-    })?;
-    let phase2 = t1.elapsed();
-    collector.set_phase_wall(Phase::Merge, phase2);
+    // Buffer stats at the probe/merge boundary, for attributing background
+    // I/O overlap to the right phase.
+    let mut stats_mid: Option<BufferStats> = None;
+    // Phases 1 and 2 run inside this immediately-invoked closure so that
+    // `drain_io` below executes on success *and* error paths: any deferred
+    // background-write error must surface to this query, and accounting must
+    // be back at baseline before the final stats delta is taken.
+    let run: Result<(Duration, Duration, usize, u64)> = (|| {
+        collector.set_phase(Phase::Probe);
+        let t0 = Instant::now();
+        Pipeline::run_ctx(source, &sink, config.threads, ctx)?;
+        let phase1 = t0.elapsed();
+        collector.set_phase_wall(Phase::Probe, phase1);
+        stats_mid = Some(mgr.stats());
 
-    let rows_in = sink.rows_in.load(Ordering::Relaxed);
+        ctx.check_cancelled()?;
+        // The partition handoff: thread-local partitions were combined into
+        // the shared set during sink-combine; what is left here is taking
+        // ownership for phase 2. Spill traffic happens *throughout* phase 1
+        // (the buffer manager evicts unpinned partition pages whenever
+        // memory runs short), so the spill/partition row of the profile
+        // carries the spill byte counts rather than a meaningful wall time
+        // of its own.
+        collector.set_phase(Phase::Partition);
+        let t_part = Instant::now();
+        let rows_in = sink.rows_in.load(Ordering::Relaxed);
+        let resets = sink.resets.load(Ordering::Relaxed);
+        let shared = Mutex::new(sink.shared.into_inner());
+        collector.add_partitions(partitions as u64);
+        // Largest partitions first (see `lpt_order`). Sizes are exact: every
+        // page a partition owns is counted whether resident or spilled.
+        let order = {
+            let guard = shared.lock();
+            lpt_order(
+                &guard
+                    .partitions()
+                    .iter()
+                    .map(|p| p.data_bytes())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        collector.set_phase_wall(Phase::Partition, t_part.elapsed());
+
+        collector.set_phase(Phase::Merge);
+        let t1 = Instant::now();
+        // Read-ahead frontier: `parallel_for_ctx` hands out task indices in
+        // increasing order, so when task `t` starts, tasks `t+1..` are the
+        // future. Each task pushes the prefetch high-water mark to
+        // `t + 1 + depth` and submits background reads for the partitions
+        // between the old mark and the new one — by the time a worker claims
+        // one of those, its spilled pages are (ideally) already resident.
+        let next_prefetch = AtomicUsize::new(0);
+        let depth = config.readahead_depth;
+        parallel_for_ctx(partitions, config.threads, ctx, &|t| {
+            if depth > 0 {
+                let end = (t + 1 + depth).min(partitions);
+                let start = next_prefetch.fetch_max(end, Ordering::Relaxed).max(t + 1);
+                if start < end {
+                    let guard = shared.lock();
+                    for &pi in &order[start..end] {
+                        guard.partitions()[pi].prefetch_all();
+                    }
+                }
+            }
+            let part = shared.lock().take_partition(order[t]);
+            finalize_partition(&bound, mgr, config, ctx, part, consumer, &groups_out)
+        })?;
+        let phase2 = t1.elapsed();
+        collector.set_phase_wall(Phase::Merge, phase2);
+        Ok((phase1, phase2, rows_in, resets))
+    })();
+
+    // Wait out any in-flight background writes/reads: a deferred spill error
+    // belongs to this query, and the stats delta below must not race active
+    // I/O. The run's own error (if any) takes precedence.
+    let drained = mgr.drain_io();
+    let (phase1, phase2, rows_in, resets) = run?;
+    drained?;
+
     let groups = groups_out.load(Ordering::Relaxed);
-    let resets = sink.resets.load(Ordering::Relaxed);
-    let buffer = mgr.stats().delta_since(&stats_before);
+    let stats_after = mgr.stats();
+    let buffer = stats_after.delta_since(&stats_before);
+    if let Some(mid) = &stats_mid {
+        // Background I/O that overlapped each phase: spill writes issued
+        // while the probe ran; writes plus read-ahead loads during the
+        // merge.
+        let d1 = mid.delta_since(&stats_before);
+        collector.set_phase_overlap(Phase::Probe, Duration::from_nanos(d1.bg_write_nanos));
+        let d2 = stats_after.delta_since(mid);
+        collector.set_phase_overlap(
+            Phase::Merge,
+            Duration::from_nanos(d2.bg_write_nanos + d2.readahead_nanos),
+        );
+    }
+    collector.set_readahead(buffer.readahead_hits, buffer.readahead_misses);
     collector.set_phase(Phase::Finalize);
     collector.add_rows_in(rows_in as u64);
     collector.add_groups(groups as u64);
@@ -1215,6 +1297,26 @@ mod tests {
             reset_fill_percent: 66,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn lpt_order_sorts_skewed_partitions_largest_first() {
+        // Zipf-ish partition payloads: one giant, a few mid-size, a long
+        // tail of near-empty partitions (what radix partitioning produces
+        // over skewed keys).
+        let sizes = [4096, 0, 786_432, 64, 8_388_608, 4096, 0, 131_072];
+        let order = lpt_order(&sizes);
+        assert_eq!(order, vec![4, 2, 7, 0, 5, 3, 1, 6]);
+        // The schedule is a permutation, monotonically non-increasing in
+        // size, with ties broken on the lower index (0 before 5, 1 before 6).
+        for w in order.windows(2) {
+            assert!(sizes[w[0]] >= sizes[w[1]]);
+            if sizes[w[0]] == sizes[w[1]] {
+                assert!(w[0] < w[1]);
+            }
+        }
+        assert!(lpt_order(&[]).is_empty());
+        assert_eq!(lpt_order(&[7]), vec![0]);
     }
 
     #[test]
@@ -1808,6 +1910,7 @@ mod tests {
                 output_chunk_size: 512,
                 reset_fill_percent: 50,
                 kernel_mode: mode,
+                ..Default::default()
             };
             let stats = check_against_reference(&coll, &plan, &config, &mgr);
             assert!(
@@ -1896,6 +1999,55 @@ mod tests {
             report.contains(&format!("({} external)", p.partitions_external)),
             "{report}"
         );
+    }
+
+    #[test]
+    fn async_io_with_readahead_is_correct_and_registers_hits() {
+        // The spill-heavy geometry, but through a manager with background
+        // I/O workers: eviction writes happen off the worker threads and
+        // phase 2 prefetches upcoming partitions. Results must still match
+        // the reference oracle exactly, read-ahead must convert at least one
+        // synchronous reload into a background hit, and the overlap the
+        // profile reports must be real (nonzero merge-phase overlap).
+        let coll = make_input(60_000, 60_000, 9);
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(coll.approx_bytes() / 2)
+                .page_size(4 << 10)
+                .policy(EvictionPolicy::Mixed)
+                .temp_dir(scratch_dir("agg_async").unwrap())
+                .io_writers(2),
+        )
+        .unwrap();
+        let plan = HashAggregatePlan {
+            group_cols: vec![0, 2],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
+        };
+        let config = AggregateConfig {
+            threads: 4,
+            radix_bits: Some(5),
+            ht_capacity: 4 * VECTOR_SIZE,
+            readahead_depth: 2,
+            ..Default::default()
+        };
+        let stats = check_against_reference(&coll, &plan, &config, &mgr);
+        let p = &stats.profile;
+        assert!(
+            stats.buffer.temp_bytes_written > 0,
+            "the run must have spilled: {:?}",
+            stats.buffer
+        );
+        assert!(
+            p.readahead_hits > 0,
+            "phase-2 read-ahead produced no hits: {p:?}"
+        );
+        assert!(
+            !p.phases[Phase::Merge.index()].overlap.is_zero(),
+            "background reads during the merge must register as overlap"
+        );
+        // Everything the query touched is released again.
+        let s = mgr.stats();
+        assert_eq!(s.memory_used, 0, "accounting must return to zero: {s:?}");
+        assert_eq!(s.temp_bytes_on_disk, 0);
     }
 
     #[test]

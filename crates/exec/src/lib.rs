@@ -33,7 +33,7 @@ pub mod vector;
 pub use chunk::{ChunkCollection, DataChunk, VECTOR_SIZE};
 pub use error::{Error, Result};
 pub use pipeline::{CancelToken, ChunkSource, LocalSink, ParallelSink, Pipeline};
-pub use pool::{ExecContext, MemoryGrant, WorkerPool};
+pub use pool::{spawn_named, ExecContext, MemoryGrant, WorkerPool};
 pub use types::LogicalType;
 pub use validity::Validity;
 pub use value::Value;

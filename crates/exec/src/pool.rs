@@ -28,6 +28,17 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Spawn a named long-lived worker thread. The pool uses this for its
+/// compute workers and the buffer manager's I/O scheduler for its
+/// writer/reader threads, so every engine thread follows the same naming
+/// convention (`rexa-*`) and spawn-failure policy.
+pub fn spawn_named(name: String, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .expect("spawn engine worker thread")
+}
+
 /// A fixed-size pool of OS worker threads shared by all running queries.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
@@ -141,10 +152,7 @@ impl WorkerPool {
         let handles = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rexa-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
+                spawn_named(format!("rexa-worker-{i}"), move || worker_loop(&shared))
             })
             .collect();
         WorkerPool {

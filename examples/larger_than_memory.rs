@@ -44,8 +44,13 @@ fn main() -> rexa_exec::Result<()> {
     );
     // Geometry note: phase 1 keeps threads x partitions x 2 pages pinned
     // (the partition write heads), so pages and partitions are sized to
-    // leave most of the limit for data.
-    let mgr = BufferManager::new(BufferManagerConfig::with_limit(limit).page_size(16 << 10))?;
+    // leave most of the limit for data. Two background I/O workers overlap
+    // the spill writes with the probe and serve phase-2 read-ahead.
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(limit)
+            .page_size(16 << 10)
+            .io_writers(2),
+    )?;
 
     let plan = HashAggregatePlan {
         group_cols: vec![0],
@@ -57,6 +62,7 @@ fn main() -> rexa_exec::Result<()> {
         ht_capacity: 1 << 14,
         output_chunk_size: VECTOR_SIZE,
         reset_fill_percent: 66,
+        readahead_depth: 2, // prefetch the next two partitions during merge
         ..Default::default()
     };
 
@@ -80,7 +86,8 @@ fn main() -> rexa_exec::Result<()> {
     assert_eq!(groups.load(Ordering::Relaxed), rows as usize);
 
     // The per-query execution profile, EXPLAIN ANALYZE style. CI greps this
-    // report for nonzero spill_bytes_written to pin the spill path down.
+    // report for nonzero spill_bytes_written to pin the spill path down and
+    // for nonzero readahead_hits to pin the phase-2 read-ahead down.
     println!("\n{}", stats.profile.render());
 
     // The in-memory baseline under the same limit: aborts.

@@ -259,6 +259,7 @@ proptest! {
                 output_chunk_size: 777,
                 reset_fill_percent: 66,
                 kernel_mode: mode,
+                ..Default::default()
             };
             let source = CollectionSource::new(&coll);
             let (out, stats) =
