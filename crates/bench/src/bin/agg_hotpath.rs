@@ -10,20 +10,29 @@
 //! the schema.
 //!
 //! ```text
-//! agg_hotpath [--rows N] [--reps N] [--threads N] [--out PATH]
+//! agg_hotpath [--rows N] [--reps N] [--threads N] [--out PATH] [--sql]
 //! ```
+//!
+//! `--sql` additionally routes every workload through the SQL front end
+//! (`rexa-sql`) before measuring, asserting that the lowered plan equals
+//! the hand-wired one and that single-threaded results are bit-identical.
+//! The benchmark numbers and the JSON schema are unchanged by the flag.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rexa_bench::print_table;
 use rexa_buffer::{BufferManager, BufferManagerConfig, EvictionPolicy};
+use rexa_core::simple::sorted_rows;
 use rexa_core::{
-    hash_aggregate_streaming, AggregateConfig, AggregateSpec, HashAggregatePlan, KernelMode,
-    RunStats,
+    hash_aggregate_collect, hash_aggregate_streaming, AggregateConfig, AggregateSpec,
+    HashAggregatePlan, KernelMode, RunStats,
 };
 use rexa_exec::pipeline::CollectionSource;
+use rexa_exec::pool::ExecContext;
 use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Vector, VECTOR_SIZE};
+use rexa_sql::Catalog;
 use rexa_storage::scratch_dir;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -31,6 +40,7 @@ struct Args {
     reps: usize,
     threads: usize,
     out: String,
+    sql: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +49,7 @@ fn parse_args() -> Args {
         reps: 3,
         threads: 1,
         out: "BENCH_agg.json".to_string(),
+        sql: false,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -55,8 +66,9 @@ fn parse_args() -> Args {
             "--reps" => args.reps = value(&mut i).parse::<usize>().expect("--reps").max(1),
             "--threads" => args.threads = value(&mut i).parse().expect("--threads"),
             "--out" => args.out = value(&mut i),
+            "--sql" => args.sql = true,
             "--help" | "-h" => {
-                eprintln!("options: --rows N --reps N --threads N --out PATH");
+                eprintln!("options: --rows N --reps N --threads N --out PATH --sql");
                 std::process::exit(0);
             }
             other => {
@@ -72,7 +84,7 @@ fn parse_args() -> Args {
 /// One benchmark workload: a generated input plus its plan.
 struct Workload {
     name: &'static str,
-    coll: ChunkCollection,
+    coll: Arc<ChunkCollection>,
     plan: HashAggregatePlan,
 }
 
@@ -93,8 +105,8 @@ fn thin_int(rows: usize) -> Workload {
         .unwrap();
     }
     Workload {
+        coll: Arc::new(coll),
         name: "thin_int",
-        coll,
         plan: HashAggregatePlan {
             group_cols: vec![0],
             aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
@@ -129,8 +141,8 @@ fn wide_multi_key(rows: usize) -> Workload {
         .unwrap();
     }
     Workload {
+        coll: Arc::new(coll),
         name: "wide_multi_key",
-        coll,
         plan: HashAggregatePlan {
             group_cols: vec![0, 1, 2],
             aggregates: vec![
@@ -178,8 +190,8 @@ fn external(rows: usize) -> Workload {
         .unwrap();
     }
     Workload {
+        coll: Arc::new(coll),
         name: "external",
-        coll,
         plan: HashAggregatePlan {
             group_cols: vec![0],
             aggregates: vec![
@@ -217,13 +229,90 @@ fn string_key(rows: usize) -> Workload {
         .unwrap();
     }
     Workload {
+        coll: Arc::new(coll),
         name: "string_key",
-        coll,
         plan: HashAggregatePlan {
             group_cols: vec![0],
             aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
         },
     }
+}
+
+/// `--sql`: route the workload through the SQL front end and check that it
+/// agrees with the hand-wired plan — first structurally (the lowered
+/// aggregate must match the plan the measurements run), then by value
+/// (single-threaded results must be bit-identical; one thread so the
+/// float-payload workloads have a deterministic combine order).
+fn sql_parity_check(w: &Workload) {
+    let (columns, sql): (&[&str], &str) = match w.name {
+        "thin_int" => (
+            &["k", "v"],
+            "SELECT k, COUNT(*), SUM(v) FROM thin_int GROUP BY k",
+        ),
+        "wide_multi_key" => (
+            &["k1", "k2", "k3", "v"],
+            "SELECT k1, k2, k3, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) \
+             FROM wide_multi_key GROUP BY k1, k2, k3",
+        ),
+        "string_key" => (
+            &["k", "v"],
+            "SELECT k, COUNT(*), SUM(v) FROM string_key GROUP BY k",
+        ),
+        "external" => (
+            &["k", "v", "tag"],
+            "SELECT k, COUNT(*), SUM(v), ANY_VALUE(tag) FROM external GROUP BY k",
+        ),
+        other => panic!("no SQL mapping for workload {other}"),
+    };
+    let mut catalog = Catalog::new();
+    catalog
+        .register_collection(
+            w.name,
+            columns.iter().map(|s| s.to_string()).collect(),
+            Arc::clone(&w.coll),
+        )
+        .unwrap();
+    let physical = rexa_sql::plan(sql, &catalog).unwrap();
+    let lowered = physical.aggregate.as_ref().expect("grouped plan");
+    assert_eq!(
+        lowered.group_cols, w.plan.group_cols,
+        "{}: SQL lowered different group columns",
+        w.name
+    );
+    assert_eq!(
+        format!("{:?}", lowered.aggregates),
+        format!("{:?}", w.plan.aggregates),
+        "{}: SQL lowered different aggregates",
+        w.name
+    );
+
+    let config = AggregateConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(1 << 30)
+            .page_size(64 << 10)
+            .temp_dir(scratch_dir("agghot").unwrap()),
+    )
+    .unwrap();
+    let chunks = std::sync::Mutex::new(Vec::<DataChunk>::new());
+    rexa_sql::execute_streaming(&mgr, &physical, &config, &ExecContext::new(), &|c| {
+        chunks.lock().unwrap().push(c);
+        Ok(())
+    })
+    .unwrap();
+    let got = sorted_rows(&chunks.into_inner().unwrap());
+
+    let source = CollectionSource::new(&w.coll);
+    let (out, _) = hash_aggregate_collect(&mgr, &source, w.coll.types(), &w.plan, &config).unwrap();
+    let want = sorted_rows(out.chunks());
+    assert_eq!(
+        got, want,
+        "{}: SQL path and hand-wired plan disagree",
+        w.name
+    );
+    println!("  sql parity: {} ok ({} groups)", w.name, want.len());
 }
 
 /// One mode's best-of-`reps` timings (minimum wall time per phase; the
@@ -371,6 +460,13 @@ fn main() {
         wide_multi_key(args.rows),
         string_key(args.rows),
     ];
+    let ext = external(args.rows);
+    if args.sql {
+        println!("checking SQL front end against hand-wired plans …");
+        for w in workloads.iter().chain([&ext]) {
+            sql_parity_check(w);
+        }
+    }
     let mut entries = Vec::new();
     let header: Vec<String> = [
         "workload",
@@ -427,7 +523,6 @@ fn main() {
     // Over-partition (64 partitions) so each partition is a small fraction
     // of the limit: phase 2's read-ahead window (current partition + depth)
     // must fit in memory, or prefetched pages get evicted again before use.
-    let ext = external(args.rows);
     let ext_limit = (ext.coll.approx_bytes() / 2).max(16 << 20);
     let sync_setup = PoolSetup {
         mem_limit: ext_limit,

@@ -29,6 +29,14 @@
 //!   `queries × threads` OS threads. The per-query driver thread
 //!   participates in its own pipeline work, so a saturated pool degrades to
 //!   inline execution rather than deadlock.
+//! * **SQL submission** — tables registered with
+//!   [`QueryService::register_table`] become visible to
+//!   [`QueryService::submit_sql`], which parses, binds, and plans a SQL
+//!   `SELECT` through `rexa-sql` and runs it under the same admission
+//!   control, reservations, deadlines, and cancellation as hand-wired
+//!   plans. Parse and bind failures return a typed
+//!   [`SqlError`](rexa_sql::SqlError) carrying the byte-offset span of the
+//!   offending text, before anything is queued.
 
 use parking_lot::{Condvar, Mutex};
 use rexa_buffer::{BufferManager, BufferStats, MemoryReservation, ReservationGrant, Table};
@@ -40,6 +48,7 @@ use rexa_exec::pipeline::{CancelToken, ChunkSource, CollectionSource};
 use rexa_exec::pool::{ExecContext, WorkerPool};
 use rexa_exec::{ChunkCollection, DataChunk, Error, Result};
 use rexa_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use rexa_sql::{Catalog, PhysicalPlan, SqlError, TableData};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -270,9 +279,49 @@ impl QueryHandle {
     }
 }
 
+/// What a queued entry will execute: a hand-wired aggregation request or a
+/// bound SQL plan. Both run under the same admission machinery.
+enum RequestKind {
+    Aggregate(QueryRequest),
+    Sql {
+        plan: Arc<PhysicalPlan>,
+        options: QueryOptions,
+    },
+}
+
+impl RequestKind {
+    fn options(&self) -> &QueryOptions {
+        match self {
+            RequestKind::Aggregate(r) => &r.options,
+            RequestKind::Sql { options, .. } => options,
+        }
+    }
+
+    /// The admission footprint estimate (bytes) when none was given.
+    fn estimate(&self, page_size: usize) -> usize {
+        match self {
+            RequestKind::Aggregate(r) => {
+                // The plan validated at submission, so row-width derivation
+                // cannot fail here; 32 bytes is a safe floor regardless.
+                let row_width = plan_row_width(&r.plan, &r.input.schema()).unwrap_or(32);
+                estimate_footprint(&r.options.config, page_size, r.input.rows(), row_width)
+            }
+            RequestKind::Sql { plan, options } => match &plan.aggregate {
+                Some(agg) if !agg.group_cols.is_empty() => {
+                    let row_width = plan_row_width(agg, &plan.input_schema).unwrap_or(32);
+                    estimate_footprint(&options.config, page_size, plan.input_rows(), row_width)
+                }
+                // Ungrouped aggregates and plain scans pin only a handful of
+                // pages at a time.
+                _ => 4 * page_size * options.config.threads.max(1),
+            },
+        }
+    }
+}
+
 struct QueuedQuery {
     shared: Arc<QueryShared>,
-    request: QueryRequest,
+    request: RequestKind,
 }
 
 struct SchedulerState {
@@ -360,6 +409,8 @@ pub struct QueryService {
     shared: Arc<ServiceShared>,
     scheduler: Option<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Tables visible to [`submit_sql`](QueryService::submit_sql).
+    catalog: Mutex<Catalog>,
 }
 
 impl QueryService {
@@ -391,6 +442,7 @@ impl QueryService {
             shared,
             scheduler: Some(scheduler),
             next_id: AtomicU64::new(1),
+            catalog: Mutex::new(Catalog::new()),
         }
     }
 
@@ -412,6 +464,54 @@ impl QueryService {
         // Validate the plan up front so an unrunnable query is rejected at
         // submission, not after queueing.
         output_schema(&request.plan, &request.input.schema())?;
+        self.enqueue(RequestKind::Aggregate(request))
+    }
+
+    /// Register a table for SQL queries under `name` with the given column
+    /// names. Re-registering a name replaces the previous entry; queries
+    /// already submitted keep the catalog snapshot they bound against.
+    pub fn register_table(
+        &self,
+        name: impl Into<String>,
+        columns: Vec<String>,
+        input: QueryInput,
+    ) -> Result<()> {
+        let data = match input {
+            QueryInput::Collection(c) => TableData::Collection(c),
+            QueryInput::Table(t) => TableData::Paged(t),
+        };
+        self.catalog.lock().register(name, columns, data)
+    }
+
+    /// A snapshot of the SQL catalog (for direct use of `rexa-sql`, e.g.
+    /// planning the same statement a submission would run).
+    pub fn catalog(&self) -> Catalog {
+        self.catalog.lock().clone()
+    }
+
+    /// Submit a SQL `SELECT` with default options. Parse and bind errors
+    /// are returned immediately as a typed [`SqlError`] with the byte span
+    /// of the offending text; nothing is queued for an invalid statement.
+    pub fn submit_sql(&self, sql: &str) -> std::result::Result<QueryHandle, SqlError> {
+        self.submit_sql_with(sql, QueryOptions::default())
+    }
+
+    /// [`submit_sql`](QueryService::submit_sql) with explicit options.
+    pub fn submit_sql_with(
+        &self,
+        sql: &str,
+        options: QueryOptions,
+    ) -> std::result::Result<QueryHandle, SqlError> {
+        let catalog = self.catalog.lock().clone();
+        let plan = rexa_sql::plan(sql, &catalog)?;
+        self.enqueue(RequestKind::Sql {
+            plan: Arc::new(plan),
+            options,
+        })
+        .map_err(SqlError::Engine)
+    }
+
+    fn enqueue(&self, request: RequestKind) -> Result<QueryHandle> {
         let now = Instant::now();
         let shared = Arc::new(QueryShared {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
@@ -419,7 +519,7 @@ impl QueryService {
             done: Condvar::new(),
             cancel: CancelToken::new(),
             deadline_fired: AtomicBool::new(false),
-            deadline: request.options.deadline.map(|d| now + d),
+            deadline: request.options().deadline.map(|d| now + d),
             submitted_at: now,
         });
         let mut state = self.shared.state.lock();
@@ -589,18 +689,11 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
         };
         drop(state);
 
-        let footprint = q.request.options.footprint.unwrap_or_else(|| {
-            // The plan validated at submission, so row-width derivation
-            // cannot fail here; 32 bytes is a safe floor regardless.
-            let row_width =
-                plan_row_width(&q.request.plan, &q.request.input.schema()).unwrap_or(32);
-            estimate_footprint(
-                &q.request.options.config,
-                shared.mgr.page_size(),
-                q.request.input.rows(),
-                row_width,
-            )
-        });
+        let footprint = q
+            .request
+            .options()
+            .footprint
+            .unwrap_or_else(|| q.request.estimate(shared.mgr.page_size()));
         match shared.mgr.reserve(footprint) {
             Ok(reservation) => launch(shared, q, reservation),
             Err(_) => {
@@ -726,20 +819,24 @@ fn spawn_driver(
 fn run_query(
     service: &ServiceShared,
     query: &QueryShared,
-    request: &QueryRequest,
+    request: &RequestKind,
     grant: Arc<ReservationGrant>,
 ) -> Result<(Option<ChunkCollection>, RunStats)> {
     query.cancel.check()?;
     let ctx = ExecContext::with_pool(Arc::clone(&service.pool))
         .with_cancel(query.cancel.clone())
         .with_grant(grant);
-    let schema = request.input.schema();
-    let collected: Mutex<Option<ChunkCollection>> = Mutex::new(match &request.options.consumer {
+    let output_types = match request {
+        RequestKind::Aggregate(r) => output_schema(&r.plan, &r.input.schema())?,
+        RequestKind::Sql { plan, .. } => plan.output_types.clone(),
+    };
+    let options = request.options();
+    let collected: Mutex<Option<ChunkCollection>> = Mutex::new(match &options.consumer {
         Some(_) => None,
-        None => Some(ChunkCollection::new(output_schema(&request.plan, &schema)?)),
+        None => Some(ChunkCollection::new(output_types)),
     });
     let consumer = |chunk: DataChunk| -> Result<()> {
-        match &request.options.consumer {
+        match &options.consumer {
             Some(f) => f(chunk),
             None => collected
                 .lock()
@@ -748,25 +845,33 @@ fn run_query(
                 .push(chunk),
         }
     };
-    let run = |source: &dyn ChunkSource| {
-        hash_aggregate_streaming_ctx(
-            &service.mgr,
-            source,
-            &schema,
-            &request.plan,
-            &request.options.config,
-            &ctx,
-            &consumer,
-        )
-    };
-    let stats = match &request.input {
-        QueryInput::Collection(coll) => {
-            let source = CollectionSource::with_cancel(coll, query.cancel.clone());
-            run(&source)?
+    let stats = match request {
+        RequestKind::Aggregate(r) => {
+            let schema = r.input.schema();
+            let run = |source: &dyn ChunkSource| {
+                hash_aggregate_streaming_ctx(
+                    &service.mgr,
+                    source,
+                    &schema,
+                    &r.plan,
+                    &r.options.config,
+                    &ctx,
+                    &consumer,
+                )
+            };
+            match &r.input {
+                QueryInput::Collection(coll) => {
+                    let source = CollectionSource::with_cancel(coll, query.cancel.clone());
+                    run(&source)?
+                }
+                QueryInput::Table(table) => {
+                    let source = table.scan_with_cancel(&service.mgr, query.cancel.clone());
+                    run(&source)?
+                }
+            }
         }
-        QueryInput::Table(table) => {
-            let source = table.scan_with_cancel(&service.mgr, query.cancel.clone());
-            run(&source)?
+        RequestKind::Sql { plan, options } => {
+            rexa_sql::execute_streaming(&service.mgr, plan, &options.config, &ctx, &consumer)?.run
         }
     };
     Ok((collected.into_inner(), stats))

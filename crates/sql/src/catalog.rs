@@ -1,0 +1,165 @@
+//! The catalog: named tables the binder resolves `FROM` clauses against.
+//!
+//! A catalog entry pairs a column-name list with the table's data — either
+//! an in-memory [`ChunkCollection`] or a persistent paged
+//! [`Table`](rexa_buffer::Table) scanned through the buffer manager. Names
+//! are folded to lowercase on registration and lookups are
+//! case-insensitive, SQL style.
+
+use crate::error::{Span, SqlError};
+use rexa_buffer::Table;
+use rexa_exec::{ChunkCollection, Error, LogicalType, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A table's rows: in-memory chunks or a buffer-managed paged table.
+#[derive(Clone)]
+pub enum TableData {
+    Collection(Arc<ChunkCollection>),
+    Paged(Arc<Table>),
+}
+
+impl TableData {
+    pub fn schema(&self) -> Vec<LogicalType> {
+        match self {
+            TableData::Collection(c) => c.types().to_vec(),
+            TableData::Paged(t) => t.schema().to_vec(),
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        match self {
+            TableData::Collection(c) => c.rows(),
+            TableData::Paged(t) => t.rows(),
+        }
+    }
+}
+
+/// One registered table.
+#[derive(Clone)]
+pub struct CatalogTable {
+    /// Lowercased table name.
+    pub name: String,
+    /// Lowercased column names, in schema order.
+    pub columns: Vec<String>,
+    /// Column types, parallel to `columns`.
+    pub schema: Vec<LogicalType>,
+    /// The rows.
+    pub data: TableData,
+}
+
+impl CatalogTable {
+    /// The index of `column` (case-insensitive), if present.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(column))
+    }
+}
+
+/// Named tables for the binder. Cloning is cheap (tables are shared).
+#[derive(Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<CatalogTable>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register `data` under `name` with the given column names (which must
+    /// match the data's column count). Re-registering a name replaces the
+    /// previous entry.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<String>,
+        data: TableData,
+    ) -> Result<()> {
+        let name = name.into().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(Error::InvalidInput("empty table name".into()));
+        }
+        let schema = data.schema();
+        if columns.len() != schema.len() {
+            return Err(Error::InvalidInput(format!(
+                "table {name}: {} column names for {} columns",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let columns: Vec<String> = columns
+            .into_iter()
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(Error::InvalidInput(format!(
+                    "table {name}: duplicate column name {c}"
+                )));
+            }
+        }
+        self.tables.insert(
+            name.clone(),
+            Arc::new(CatalogTable {
+                name,
+                columns,
+                schema,
+                data,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Convenience: register an in-memory collection.
+    pub fn register_collection(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<String>,
+        coll: Arc<ChunkCollection>,
+    ) -> Result<()> {
+        self.register(name, columns, TableData::Collection(coll))
+    }
+
+    /// Convenience: register a persistent paged table.
+    pub fn register_paged(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<String>,
+        table: Arc<Table>,
+    ) -> Result<()> {
+        self.register(name, columns, TableData::Paged(table))
+    }
+
+    /// Look up a table (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&Arc<CatalogTable>> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Resolve a table reference or fail with a bind error at `span`.
+    pub(crate) fn resolve(
+        &self,
+        name: &str,
+        span: Span,
+    ) -> std::result::Result<Arc<CatalogTable>, SqlError> {
+        self.get(name).cloned().ok_or_else(|| {
+            SqlError::bind(
+                format!(
+                    "unknown table `{name}` (registered: {})",
+                    if self.tables.is_empty() {
+                        "none".to_string()
+                    } else {
+                        self.tables.keys().cloned().collect::<Vec<_>>().join(", ")
+                    }
+                ),
+                span,
+            )
+        })
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}

@@ -1,0 +1,143 @@
+//! Typed, span-carrying SQL errors.
+//!
+//! Every parse and bind failure points at the byte range of the offending
+//! token in the original query text, so a caller (CLI, service log, test)
+//! can underline exactly what was wrong. Engine failures that happen after
+//! planning (OOM, cancellation, …) are passed through unchanged.
+
+use std::fmt;
+
+/// A byte range `[start, end)` into the original SQL text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned text.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned text.
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
+/// What went wrong with a SQL query.
+#[derive(Debug)]
+pub enum SqlError {
+    /// The text is not a well-formed query; `span` points at the offending
+    /// token (or at end-of-input for truncated queries).
+    Parse { message: String, span: Span },
+    /// The query is well-formed but does not bind against the catalog
+    /// (unknown table/column, type mismatch, unsupported shape).
+    Bind { message: String, span: Span },
+    /// The planned query failed at execution time (OOM, cancellation,
+    /// deadline, admission shed, I/O, …).
+    Engine(rexa_exec::Error),
+}
+
+impl SqlError {
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        SqlError::Parse {
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn bind(message: impl Into<String>, span: Span) -> Self {
+        SqlError::Bind {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The byte span of the offending text, when the error has one
+    /// (parse and bind errors do; engine errors do not).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SqlError::Parse { span, .. } | SqlError::Bind { span, .. } => Some(*span),
+            SqlError::Engine(_) => None,
+        }
+    }
+
+    /// A two-line diagnostic: the query text with a caret underline below
+    /// the offending span. Spans beyond the text (end-of-input errors) get
+    /// a single caret one past the last byte.
+    pub fn render(&self, sql: &str) -> String {
+        let Some(span) = self.span() else {
+            return format!("{self}");
+        };
+        let start = span.start.min(sql.len());
+        let width = span.end.saturating_sub(span.start).max(1);
+        let underline: String = sql[..start]
+            .chars()
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .chain(std::iter::repeat_n('^', width))
+            .collect();
+        format!("{self}\n{sql}\n{underline}")
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { message, span } => write!(f, "parse error at {span}: {message}"),
+            SqlError::Bind { message, span } => write!(f, "bind error at {span}: {message}"),
+            SqlError::Engine(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<rexa_exec::Error> for SqlError {
+    fn from(e: rexa_exec::Error) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+/// Lossy conversion for callers that only speak the engine's error type:
+/// the span survives inside the message text.
+impl From<SqlError> for rexa_exec::Error {
+    fn from(e: SqlError) -> Self {
+        match e {
+            SqlError::Engine(inner) => inner,
+            other => rexa_exec::Error::InvalidInput(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_underlines_span() {
+        let e = SqlError::parse("unexpected token", Span::new(7, 11));
+        let r = e.render("SELECT FROM t");
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1], "SELECT FROM t");
+        assert_eq!(lines[2], "       ^^^^");
+    }
+
+    #[test]
+    fn render_at_end_of_input() {
+        let e = SqlError::parse("expected expression", Span::new(7, 7));
+        let r = e.render("SELECT ");
+        assert!(r.ends_with("^"));
+    }
+}

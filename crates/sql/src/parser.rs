@@ -1,0 +1,513 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT ( '*' | item (',' item)* )
+//!               FROM ident
+//!               [ JOIN ident ON colref '=' colref (AND colref '=' colref)* ]
+//!               [ WHERE pred ]
+//!               [ GROUP BY colref (',' colref)* ]
+//!               [ HAVING pred ]
+//!               [ ORDER BY order (',' order)* ]
+//!               [ LIMIT int ] [ ';' ]
+//! item       := expr [ [AS] ident ]
+//! order      := expr [ ASC | DESC ]
+//! pred       := conj (OR conj)*
+//! conj       := factor (AND factor)*
+//! factor     := '(' pred ')' | operand cmp operand
+//! operand    := agg | colref | literal
+//! agg        := ident '(' ( '*' | colref ) ')'
+//! colref     := ident [ '.' ident ]
+//! literal    := ['-'] int | ['-'] float | string
+//! ```
+//!
+//! Every error carries the span of the offending token.
+
+use crate::ast::*;
+use crate::error::{Span, SqlError};
+use crate::token::{tokenize, Tok, Token};
+
+/// The aggregate function names the planner can lower. The parser accepts
+/// any `ident(…)` call; binding rejects unknown names — but `COUNT(*)`
+/// syntax is resolved here.
+pub const AGGREGATE_FUNCTIONS: &[&str] = &[
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "ANY_VALUE",
+    "VAR_SAMP",
+    "STDDEV_SAMP",
+];
+
+/// Parse one `SELECT` statement; trailing `;` is allowed, anything after it
+/// is an error.
+pub fn parse(sql: &str) -> Result<Query, SqlError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let query = p.query()?;
+    if p.eat_tok(&Tok::Semi) {
+        // A single trailing semicolon is fine.
+    }
+    let t = p.peek().clone();
+    if t.tok != Tok::Eof {
+        return Err(SqlError::parse(
+            format!("unexpected {} after end of query", t.tok.describe()),
+            t.span,
+        ));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Is the current token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require the keyword, or fail pointing at the current token.
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, SqlError> {
+        if self.at_kw(kw) {
+            Ok(self.next().span)
+        } else {
+            let t = self.peek();
+            Err(SqlError::parse(
+                format!("expected {kw}, found {}", t.tok.describe()),
+                t.span,
+            ))
+        }
+    }
+
+    fn eat_tok(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_tok(&mut self, tok: &Tok, what: &str) -> Result<Span, SqlError> {
+        if &self.peek().tok == tok {
+            Ok(self.next().span)
+        } else {
+            let t = self.peek();
+            Err(SqlError::parse(
+                format!("expected {what}, found {}", t.tok.describe()),
+                t.span,
+            ))
+        }
+    }
+
+    /// A bare identifier that is not a clause keyword.
+    fn ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if !is_reserved(s) => {
+                let s = s.clone();
+                let span = self.next().span;
+                Ok((s, span))
+            }
+            other => {
+                let span = self.peek().span;
+                Err(SqlError::parse(
+                    format!("expected {what}, found {}", other.describe()),
+                    span,
+                ))
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_kw("SELECT")?;
+        let (star, items) = if self.eat_tok(&Tok::Star) {
+            (true, Vec::new())
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat_tok(&Tok::Comma) {
+                items.push(self.select_item()?);
+            }
+            (false, items)
+        };
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let join = if self.at_kw("JOIN") || self.at_kw("INNER") {
+            self.eat_kw("INNER");
+            let join_span = self.expect_kw("JOIN")?;
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let mut on = vec![self.join_condition()?];
+            while self.eat_kw("AND") {
+                on.push(self.join_condition()?);
+            }
+            Some(Join {
+                span: join_span.merge(table.span),
+                table,
+                on,
+            })
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            let mut cols = vec![self.column_ref()?];
+            while self.eat_tok(&Tok::Comma) {
+                cols.push(self.column_ref()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let mut keys = vec![self.order_item()?];
+            while self.eat_tok(&Tok::Comma) {
+                keys.push(self.order_item()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            let t = self.next();
+            match t.tok {
+                Tok::Int(n) if n >= 0 => Some(Limit {
+                    n: n as u64,
+                    span: t.span,
+                }),
+                other => {
+                    return Err(SqlError::parse(
+                        format!(
+                            "LIMIT expects a non-negative integer, found {}",
+                            other.describe()
+                        ),
+                        t.span,
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            star,
+            items,
+            from,
+            join,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let (name, span) = self.ident("a table name")?;
+        Ok(TableRef { name, span })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.operand()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident("an alias")?.0)
+        } else {
+            match &self.peek().tok {
+                // Implicit alias: a bare identifier that is not a clause
+                // keyword (`SELECT a b FROM t`).
+                Tok::Ident(s) if !is_reserved(s) => Some(self.ident("an alias")?.0),
+                _ => None,
+            }
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem, SqlError> {
+        let expr = self.operand()?;
+        let desc = if self.eat_kw("DESC") {
+            true
+        } else {
+            self.eat_kw("ASC");
+            false
+        };
+        Ok(OrderItem { expr, desc })
+    }
+
+    fn join_condition(&mut self) -> Result<(ColumnRef, ColumnRef), SqlError> {
+        let left = self.column_ref()?;
+        self.expect_tok(&Tok::Eq, "`=` in join condition")?;
+        let right = self.column_ref()?;
+        Ok((left, right))
+    }
+
+    fn predicate(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.conjunction()?;
+        while self.eat_kw("OR") {
+            let right = self.conjunction()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.factor()?;
+        while self.eat_kw("AND") {
+            let right = self.factor()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_tok(&Tok::LParen) {
+            let inner = self.predicate()?;
+            self.expect_tok(&Tok::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        let left = self.operand()?;
+        let op = match self.peek().tok {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => {
+                let t = self.peek();
+                return Err(SqlError::parse(
+                    format!("expected a comparison operator, found {}", t.tok.describe()),
+                    t.span,
+                ));
+            }
+        };
+        self.pos += 1;
+        let right = self.operand()?;
+        Ok(Expr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    /// A column reference, aggregate call, or literal.
+    fn operand(&mut self) -> Result<Expr, SqlError> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Minus => {
+                // Unary minus: only on numeric literals.
+                self.pos += 1;
+                let lit = self.peek().clone();
+                let span = t.span.merge(lit.span);
+                match lit.tok {
+                    // Lexed magnitudes fit in i64, so negation cannot
+                    // overflow.
+                    Tok::Int(v) => {
+                        self.pos += 1;
+                        Ok(Expr::Literal(Literal::Int(-v), span))
+                    }
+                    Tok::Float(v) => {
+                        self.pos += 1;
+                        Ok(Expr::Literal(Literal::Float(-v), span))
+                    }
+                    other => Err(SqlError::parse(
+                        format!(
+                            "expected a numeric literal after `-`, found {}",
+                            other.describe()
+                        ),
+                        lit.span,
+                    )),
+                }
+            }
+            Tok::Int(v) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(v), t.span))
+            }
+            Tok::Float(v) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(v), t.span))
+            }
+            Tok::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s), t.span))
+            }
+            Tok::Ident(ref name) if self.peek2().tok == Tok::LParen => {
+                // Function call: only aggregate calls exist in this grammar.
+                let func = name.to_ascii_uppercase();
+                self.pos += 2; // name and '('
+                let (arg, star) = if self.eat_tok(&Tok::Star) {
+                    (None, true)
+                } else {
+                    (Some(self.column_ref()?), false)
+                };
+                let close = self.expect_tok(&Tok::RParen, "`)`")?;
+                if star && func != "COUNT" {
+                    return Err(SqlError::parse(
+                        format!("`*` argument is only valid for COUNT, not {func}"),
+                        t.span.merge(close),
+                    ));
+                }
+                Ok(Expr::Agg(AggCall {
+                    func,
+                    arg,
+                    star,
+                    span: t.span.merge(close),
+                }))
+            }
+            Tok::Ident(_) => Ok(Expr::Column(self.column_ref()?)),
+            other => Err(SqlError::parse(
+                format!("expected an expression, found {}", other.describe()),
+                t.span,
+            )),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let (first, span) = self.ident("a column name")?;
+        if self.eat_tok(&Tok::Dot) {
+            let (name, name_span) = self.ident("a column name after `.`")?;
+            Ok(ColumnRef {
+                table: Some(first),
+                name,
+                span: span.merge(name_span),
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                name: first,
+                span,
+            })
+        }
+    }
+}
+
+/// Clause keywords that cannot be used as bare identifiers (so the parser
+/// can tell `SELECT a FROM …` from an implicit alias).
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "JOIN", "INNER", "ON", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+        "LIMIT", "AND", "OR", "AS", "ASC", "DESC",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_query_shape() {
+        let q = parse(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity), AVG(l_extendedprice), COUNT(*) \
+             FROM lineitem WHERE l_shipdate <= '1998-09-02' \
+             GROUP BY l_returnflag, l_linestatus \
+             ORDER BY l_returnflag, l_linestatus",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 5);
+        assert_eq!(q.from.name, "lineitem");
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.limit.is_none());
+    }
+
+    #[test]
+    fn parses_join_and_having_and_limit() {
+        let q = parse(
+            "SELECT a, COUNT(*) FROM t JOIN u ON t.k = u.k \
+             WHERE b > 3 AND (c = 'x' OR c = 'y') \
+             GROUP BY a HAVING COUNT(*) >= 10 ORDER BY a DESC LIMIT 5;",
+        )
+        .unwrap();
+        let join = q.join.unwrap();
+        assert_eq!(join.table.name, "u");
+        assert_eq!(join.on.len(), 1);
+        assert!(q.having.unwrap().has_aggregate());
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit.unwrap().n, 5);
+    }
+
+    #[test]
+    fn round_trip_is_idempotent() {
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT a, b AS total FROM t WHERE a = 1 AND b < 2.5 OR c <> 'z'",
+            "SELECT a FROM t WHERE b >= -42 AND c < -1.5",
+            "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k HAVING SUM(v) > 0 ORDER BY k ASC LIMIT 3",
+            "SELECT t.a, u.b FROM t JOIN u ON t.k = u.k AND t.j = u.j GROUP BY t.a, u.b",
+        ] {
+            let once = parse(sql).unwrap().to_string();
+            let twice = parse(&once).unwrap().to_string();
+            assert_eq!(once, twice, "unparse not a fixed point for {sql:?}");
+        }
+    }
+
+    #[test]
+    fn error_spans_point_at_offender() {
+        // `FROM` where an expression is required.
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert_eq!(e.span().unwrap().start, 7);
+
+        // Trailing garbage after a complete query.
+        let e = parse("SELECT a FROM t nonsense extra").unwrap_err();
+        assert_eq!(e.span().unwrap().start, 16);
+
+        // Missing closing parenthesis.
+        let e = parse("SELECT COUNT( FROM t").unwrap_err();
+        assert_eq!(e.span().unwrap().start, 14);
+    }
+
+    #[test]
+    fn star_only_for_count() {
+        let e = parse("SELECT SUM(*) FROM t").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("only valid for COUNT"), "{msg}");
+    }
+
+    #[test]
+    fn limit_requires_integer() {
+        let e = parse("SELECT a FROM t LIMIT x").unwrap_err();
+        assert_eq!(e.span().unwrap().start, 22);
+    }
+}

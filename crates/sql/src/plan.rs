@@ -1,0 +1,972 @@
+//! Binder and planner: resolve a parsed [`Query`] against a [`Catalog`]
+//! and lower it onto the existing operators.
+//!
+//! Binding rules (see DESIGN.md §11):
+//! * `FROM`/`JOIN` tables must be registered; columns resolve
+//!   case-insensitively, qualified (`t.c`) or unqualified when unique.
+//! * `JOIN … ON` takes equalities only, each with exactly one side per
+//!   table and pairwise equal key types; it lowers to
+//!   [`HashJoinPlan`] with the left (`FROM`) table as the probe side, so
+//!   the combined schema is left columns followed by right columns.
+//! * With `GROUP BY` (or any aggregate call), every plain column in the
+//!   select list must be a grouping column; aggregate calls lower to
+//!   [`AggregateSpec`]s validated by the operator's own binder
+//!   ([`bind_aggregate`]), deduplicated across SELECT and HAVING.
+//! * `WHERE` binds over the (joined) input schema and must be
+//!   aggregate-free; `HAVING` binds over group keys and aggregates.
+//! * Literals coerce to the compared column's type at bind time —
+//!   including `'YYYY-MM-DD'` strings against `DATE` columns — or fail
+//!   with a bind error at the literal's span.
+//! * `ORDER BY` keys must appear in the select list (by name, alias, or
+//!   1-based position); `LIMIT` takes a non-negative integer.
+
+use crate::ast::{AggCall, ColumnRef, Expr, Literal, Query};
+use crate::catalog::{Catalog, CatalogTable};
+use crate::error::{Span, SqlError};
+use rexa_core::function::bind_aggregate;
+use rexa_core::{AggregateSpec, HashAggregatePlan, HashJoinPlan};
+use rexa_exec::vector::VectorData;
+use rexa_exec::{DataChunk, LogicalType, Value, Vector};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+pub use crate::ast::CmpOp;
+
+/// A bound filter predicate, evaluated row-at-a-time over a [`DataChunk`].
+/// SQL three-valued logic collapses at the filter: a comparison involving
+/// NULL is not satisfied.
+#[derive(Clone, Debug)]
+pub enum Predicate {
+    /// `column <op> literal` (literal already coerced to the column type).
+    CmpLit {
+        col: usize,
+        op: CmpOp,
+        lit: Value,
+    },
+    /// `column <op> column` (same logical type on both sides).
+    CmpCols {
+        left: usize,
+        op: CmpOp,
+        right: usize,
+    },
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Does row `row` of `chunk` satisfy the predicate?
+    pub fn eval(&self, chunk: &DataChunk, row: usize) -> bool {
+        match self {
+            Predicate::CmpLit { col, op, lit } => {
+                cmp_value_lit(chunk.column(*col), row, lit).is_some_and(|ord| op.matches(ord))
+            }
+            Predicate::CmpCols { left, op, right } => {
+                cmp_cols(chunk.column(*left), chunk.column(*right), row)
+                    .is_some_and(|ord| op.matches(ord))
+            }
+            Predicate::And(l, r) => l.eval(chunk, row) && r.eval(chunk, row),
+            Predicate::Or(l, r) => l.eval(chunk, row) || r.eval(chunk, row),
+        }
+    }
+}
+
+/// Compare one row's cell against a coerced literal without materializing a
+/// [`Value`] (no string allocation on the hot filter path). `None` = NULL.
+fn cmp_value_lit(vec: &Vector, row: usize, lit: &Value) -> Option<Ordering> {
+    if !vec.validity().is_valid(row) {
+        return None;
+    }
+    match (vec.data(), lit) {
+        (VectorData::I32(_), Value::Int32(x)) => Some(vec.i32s()[row].cmp(x)),
+        (VectorData::I32(_), Value::Date(x)) => Some(vec.i32s()[row].cmp(x)),
+        (VectorData::I64(_), Value::Int64(x)) => Some(vec.i64s()[row].cmp(x)),
+        (VectorData::F64(_), Value::Float64(x)) => Some(vec.f64s()[row].total_cmp(x)),
+        (VectorData::Str(_), Value::Varchar(s)) => Some(vec.str_at(row).cmp(s.as_str())),
+        // The binder coerces literals to the column type, so this arm is
+        // unreachable for bound plans; treat as not-satisfied, never panic.
+        _ => None,
+    }
+}
+
+/// Compare two same-typed cells of one row. `None` when either is NULL.
+fn cmp_cols(a: &Vector, b: &Vector, row: usize) -> Option<Ordering> {
+    if !a.validity().is_valid(row) || !b.validity().is_valid(row) {
+        return None;
+    }
+    match (a.data(), b.data()) {
+        (VectorData::I32(_), VectorData::I32(_)) => Some(a.i32s()[row].cmp(&b.i32s()[row])),
+        (VectorData::I64(_), VectorData::I64(_)) => Some(a.i64s()[row].cmp(&b.i64s()[row])),
+        (VectorData::F64(_), VectorData::F64(_)) => Some(a.f64s()[row].total_cmp(&b.f64s()[row])),
+        (VectorData::Str(_), VectorData::Str(_)) => Some(a.str_at(row).cmp(b.str_at(row))),
+        _ => None,
+    }
+}
+
+/// One `ORDER BY` key over the projected output.
+#[derive(Clone, Copy, Debug)]
+pub struct SortKey {
+    /// Output column index.
+    pub col: usize,
+    pub desc: bool,
+}
+
+/// The join step: build side and lowered plan.
+#[derive(Clone)]
+pub struct JoinNode {
+    /// The build-side (right, `JOIN`ed) table.
+    pub right: Arc<CatalogTable>,
+    /// Lowered join plan: probe keys index the left table's schema, build
+    /// keys the right table's.
+    pub plan: HashJoinPlan,
+}
+
+/// A fully bound, executable query plan:
+/// scan → \[join\] → \[filter\] → \[aggregate\] → \[having\] → project →
+/// \[sort/limit\].
+#[derive(Clone)]
+pub struct PhysicalPlan {
+    /// The probe-side (`FROM`) table.
+    pub left: Arc<CatalogTable>,
+    /// Optional hash join against a second table.
+    pub join: Option<JoinNode>,
+    /// Schema the filter and aggregation see: left columns, then (joined)
+    /// right columns.
+    pub input_schema: Vec<LogicalType>,
+    /// `WHERE`, bound over `input_schema`.
+    pub filter: Option<Predicate>,
+    /// The aggregation, when the query groups or aggregates. Empty
+    /// `group_cols` selects the ungrouped (single-row) path.
+    pub aggregate: Option<HashAggregatePlan>,
+    /// Schema of the aggregate's output (group keys then aggregates), or of
+    /// the input when there is no aggregation.
+    pub agg_output_schema: Vec<LogicalType>,
+    /// `HAVING`, bound over `agg_output_schema`.
+    pub having: Option<Predicate>,
+    /// Select-list projection over `agg_output_schema` (or the input schema
+    /// when there is no aggregation).
+    pub projection: Vec<usize>,
+    /// Output column names, parallel to `projection`.
+    pub output_names: Vec<String>,
+    /// Output column types, parallel to `projection`.
+    pub output_types: Vec<LogicalType>,
+    /// `ORDER BY` keys over the projected output.
+    pub order_by: Vec<SortKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+impl PhysicalPlan {
+    /// Upper bound on input rows (exact scan cardinality before filtering),
+    /// for admission footprint estimates.
+    pub fn input_rows(&self) -> usize {
+        let left = self.left.data.rows();
+        match &self.join {
+            None => left,
+            // An equi-join can expand; use the larger side as the estimate.
+            Some(j) => left.max(j.right.data.rows()),
+        }
+    }
+
+    /// A compact `EXPLAIN`-style rendering of the operator tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let mut indent = 0usize;
+        let mut line = |s: String, indent: &mut usize| {
+            out.push_str(&"  ".repeat(*indent));
+            out.push_str(&s);
+            out.push('\n');
+            *indent += 1;
+        };
+        if self.limit.is_some() || !self.order_by.is_empty() {
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{}{}",
+                        self.output_names[k.col],
+                        if k.desc { " DESC" } else { "" }
+                    )
+                })
+                .collect();
+            let limit = self.limit.map_or(String::new(), |n| format!(" limit={n}"));
+            line(format!("SORT [{}]{limit}", keys.join(", ")), &mut indent);
+        }
+        line(
+            format!("PROJECT [{}]", self.output_names.join(", ")),
+            &mut indent,
+        );
+        if self.having.is_some() {
+            line("FILTER (having)".into(), &mut indent);
+        }
+        if let Some(agg) = &self.aggregate {
+            line(
+                format!(
+                    "HASH_AGGREGATE groups={} aggregates={}",
+                    agg.group_cols.len(),
+                    agg.aggregates.len()
+                ),
+                &mut indent,
+            );
+        }
+        if self.filter.is_some() {
+            line("FILTER (where)".into(), &mut indent);
+        }
+        if let Some(j) = &self.join {
+            line(
+                format!("HASH_JOIN keys={}", j.plan.probe_keys.len()),
+                &mut indent,
+            );
+            line(format!("SCAN {}", self.left.name), &mut indent);
+            out.push_str(&"  ".repeat(indent - 1));
+            out.push_str(&format!("SCAN {}\n", j.right.name));
+        } else {
+            line(format!("SCAN {}", self.left.name), &mut indent);
+        }
+        out
+    }
+}
+
+/// Parse, bind, and lower `sql` against `catalog`.
+pub fn plan(sql: &str, catalog: &Catalog) -> Result<PhysicalPlan, SqlError> {
+    let query = crate::parser::parse(sql)?;
+    bind(&query, catalog)
+}
+
+/// Bind and lower an already-parsed query.
+pub fn bind(query: &Query, catalog: &Catalog) -> Result<PhysicalPlan, SqlError> {
+    let left = catalog.resolve(&query.from.name, query.from.span)?;
+    let (join, scope) = match &query.join {
+        None => (None, Scope::single(Arc::clone(&left))),
+        Some(j) => {
+            let right = catalog.resolve(&j.table.name, j.table.span)?;
+            if right.name == left.name {
+                return Err(SqlError::bind(
+                    "self-joins are not supported (register the table twice under different names)",
+                    j.table.span,
+                ));
+            }
+            let scope = Scope::joined(Arc::clone(&left), Arc::clone(&right));
+            let plan = bind_join_on(&scope, &left, &right, &j.on)?;
+            (
+                Some(JoinNode {
+                    right: Arc::clone(&right),
+                    plan,
+                }),
+                scope,
+            )
+        }
+    };
+    let input_schema = scope.schema.clone();
+
+    let filter = match &query.where_clause {
+        None => None,
+        Some(expr) => {
+            if expr.has_aggregate() {
+                return Err(SqlError::bind(
+                    "aggregate calls are not allowed in WHERE (use HAVING)",
+                    expr.span(),
+                ));
+            }
+            Some(bind_predicate(expr, &|c| {
+                scope.resolve(c).map(|i| (i, input_schema[i]))
+            })?)
+        }
+    };
+
+    let wants_aggregation = !query.group_by.is_empty()
+        || query.having.is_some()
+        || query.items.iter().any(|i| i.expr.has_aggregate());
+
+    let mut binder = OutputBinder {
+        scope: &scope,
+        input_schema: &input_schema,
+        group_cols: Vec::new(),
+        aggregates: Vec::new(),
+    };
+
+    let (aggregate, agg_output_schema, having, outputs) = if wants_aggregation {
+        if query.star {
+            return Err(SqlError::bind(
+                "SELECT * cannot be combined with GROUP BY or aggregates",
+                query.from.span,
+            ));
+        }
+        for c in &query.group_by {
+            let idx = scope.resolve(c)?;
+            if binder.group_cols.contains(&idx) {
+                return Err(SqlError::bind(
+                    format!("duplicate GROUP BY column `{c}`"),
+                    c.span,
+                ));
+            }
+            binder.group_cols.push(idx);
+        }
+        let mut outputs = Vec::new();
+        for item in &query.items {
+            let (slot, name) = binder.bind_select_item(&item.expr)?;
+            outputs.push(Output {
+                slot,
+                name: item.alias.clone().unwrap_or(name),
+            });
+        }
+        let having = match &query.having {
+            None => None,
+            Some(expr) => Some(bind_having(expr, &mut binder)?),
+        };
+        let agg_plan = HashAggregatePlan {
+            group_cols: binder.group_cols.clone(),
+            aggregates: binder.aggregates.clone(),
+        };
+        let mut agg_schema: Vec<LogicalType> = agg_plan
+            .group_cols
+            .iter()
+            .map(|&c| input_schema[c])
+            .collect();
+        for spec in &agg_plan.aggregates {
+            // Already validated in `bind_agg_call`; cannot fail here.
+            agg_schema.push(
+                bind_aggregate(*spec, &input_schema)
+                    .map_err(SqlError::Engine)?
+                    .output_type,
+            );
+        }
+        (Some(agg_plan), agg_schema, having, outputs)
+    } else {
+        let mut outputs = Vec::new();
+        if query.star {
+            for (i, name) in scope.output_star_names().into_iter().enumerate() {
+                outputs.push(Output { slot: i, name });
+            }
+        } else {
+            for item in &query.items {
+                match &item.expr {
+                    Expr::Column(c) => {
+                        let idx = scope.resolve(c)?;
+                        outputs.push(Output {
+                            slot: idx,
+                            name: item
+                                .alias
+                                .clone()
+                                .unwrap_or_else(|| c.name.to_ascii_lowercase()),
+                        });
+                    }
+                    other => {
+                        return Err(SqlError::bind(
+                            "only columns and aggregate calls are supported in the select list",
+                            other.span(),
+                        ))
+                    }
+                }
+            }
+        }
+        (None, input_schema.clone(), None, outputs)
+    };
+
+    let projection: Vec<usize> = outputs.iter().map(|o| o.slot).collect();
+    let output_names: Vec<String> = outputs.iter().map(|o| o.name.clone()).collect();
+    let output_types: Vec<LogicalType> = projection.iter().map(|&i| agg_output_schema[i]).collect();
+
+    // ORDER BY binds over the projected output: by alias/name, by matching
+    // select-list expression, or by 1-based position.
+    let mut order_by = Vec::new();
+    for key in &query.order_by {
+        let col = bind_order_key(
+            &key.expr,
+            query,
+            &outputs,
+            &scope,
+            aggregate.as_ref(),
+            &binder,
+        )?;
+        order_by.push(SortKey {
+            col,
+            desc: key.desc,
+        });
+    }
+
+    let limit = query.limit.map(|l| l.n as usize);
+
+    Ok(PhysicalPlan {
+        left,
+        join,
+        input_schema,
+        filter,
+        aggregate,
+        agg_output_schema,
+        having,
+        projection,
+        output_names,
+        output_types,
+        order_by,
+        limit,
+    })
+}
+
+/// One projected output column: its index in the pre-projection schema and
+/// its display name.
+struct Output {
+    slot: usize,
+    name: String,
+}
+
+/// Name resolution over the `FROM`(+`JOIN`) tables.
+struct Scope {
+    /// (table, offset of its first column in the combined schema).
+    tables: Vec<(Arc<CatalogTable>, usize)>,
+    schema: Vec<LogicalType>,
+}
+
+impl Scope {
+    fn single(t: Arc<CatalogTable>) -> Self {
+        let schema = t.schema.clone();
+        Scope {
+            tables: vec![(t, 0)],
+            schema,
+        }
+    }
+
+    fn joined(left: Arc<CatalogTable>, right: Arc<CatalogTable>) -> Self {
+        let mut schema = left.schema.clone();
+        schema.extend_from_slice(&right.schema);
+        let offset = left.schema.len();
+        Scope {
+            tables: vec![(left, 0), (right, offset)],
+            schema,
+        }
+    }
+
+    /// Resolve a column reference to a combined-schema index.
+    fn resolve(&self, c: &ColumnRef) -> Result<usize, SqlError> {
+        if let Some(qualifier) = &c.table {
+            let Some((t, off)) = self
+                .tables
+                .iter()
+                .find(|(t, _)| t.name.eq_ignore_ascii_case(qualifier))
+            else {
+                return Err(SqlError::bind(
+                    format!("unknown table qualifier `{qualifier}`"),
+                    c.span,
+                ));
+            };
+            return match t.column_index(&c.name) {
+                Some(i) => Ok(off + i),
+                None => Err(SqlError::bind(
+                    format!("table `{}` has no column `{}`", t.name, c.name),
+                    c.span,
+                )),
+            };
+        }
+        let mut found = None;
+        for (t, off) in &self.tables {
+            if let Some(i) = t.column_index(&c.name) {
+                if found.is_some() {
+                    return Err(SqlError::bind(
+                        format!(
+                            "column `{}` is ambiguous (qualify it with a table name)",
+                            c.name
+                        ),
+                        c.span,
+                    ));
+                }
+                found = Some(off + i);
+            }
+        }
+        found.ok_or_else(|| SqlError::bind(format!("unknown column `{}`", c.name), c.span))
+    }
+
+    /// Output names for `SELECT *`: bare column names, qualified with the
+    /// table name when two tables share a column name.
+    fn output_star_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for (t, _) in &self.tables {
+            for col in &t.columns {
+                let duplicated = self
+                    .tables
+                    .iter()
+                    .filter(|(u, _)| u.column_index(col).is_some())
+                    .count()
+                    > 1;
+                if duplicated {
+                    names.push(format!("{}.{}", t.name, col));
+                } else {
+                    names.push(col.clone());
+                }
+            }
+        }
+        names
+    }
+}
+
+/// Bind `JOIN … ON` equalities to a [`HashJoinPlan`]: left table is the
+/// probe side, right the build side.
+fn bind_join_on(
+    scope: &Scope,
+    left: &CatalogTable,
+    right: &CatalogTable,
+    on: &[(ColumnRef, ColumnRef)],
+) -> Result<HashJoinPlan, SqlError> {
+    let left_cols = left.schema.len();
+    let mut probe_keys = Vec::new();
+    let mut build_keys = Vec::new();
+    for (a, b) in on {
+        let ia = scope.resolve(a)?;
+        let ib = scope.resolve(b)?;
+        let span = a.span.merge(b.span);
+        let (probe, build) = if ia < left_cols && ib >= left_cols {
+            (ia, ib - left_cols)
+        } else if ib < left_cols && ia >= left_cols {
+            (ib, ia - left_cols)
+        } else {
+            return Err(SqlError::bind(
+                "join condition must compare one column from each table",
+                span,
+            ));
+        };
+        if left.schema[probe] != right.schema[build] {
+            return Err(SqlError::bind(
+                format!(
+                    "join key type mismatch: {} vs {}",
+                    left.schema[probe], right.schema[build]
+                ),
+                span,
+            ));
+        }
+        probe_keys.push(probe);
+        build_keys.push(build);
+    }
+    Ok(HashJoinPlan {
+        build_keys,
+        probe_keys,
+    })
+}
+
+/// Maps a column reference to `(index, type)` in whatever schema a
+/// predicate runs over.
+type ColumnResolver<'a> = dyn Fn(&ColumnRef) -> Result<(usize, LogicalType), SqlError> + 'a;
+
+/// Bind a predicate tree; `resolve` maps a column reference to
+/// `(index, type)` in whatever schema the predicate runs over.
+fn bind_predicate(expr: &Expr, resolve: &ColumnResolver) -> Result<Predicate, SqlError> {
+    match expr {
+        Expr::And(l, r) => Ok(Predicate::And(
+            Box::new(bind_predicate(l, resolve)?),
+            Box::new(bind_predicate(r, resolve)?),
+        )),
+        Expr::Or(l, r) => Ok(Predicate::Or(
+            Box::new(bind_predicate(l, resolve)?),
+            Box::new(bind_predicate(r, resolve)?),
+        )),
+        Expr::Cmp { op, left, right } => bind_comparison(*op, left, right, resolve),
+        other => Err(SqlError::bind(
+            "expected a comparison or AND/OR combination",
+            other.span(),
+        )),
+    }
+}
+
+fn bind_comparison(
+    op: CmpOp,
+    left: &Expr,
+    right: &Expr,
+    resolve: &ColumnResolver,
+) -> Result<Predicate, SqlError> {
+    match (left, right) {
+        (Expr::Column(lc), Expr::Column(rc)) => {
+            let (li, lt) = resolve(lc)?;
+            let (ri, rt) = resolve(rc)?;
+            if lt != rt {
+                return Err(SqlError::bind(
+                    format!("cannot compare {lt} with {rt}"),
+                    lc.span.merge(rc.span),
+                ));
+            }
+            Ok(Predicate::CmpCols {
+                left: li,
+                op,
+                right: ri,
+            })
+        }
+        (Expr::Column(c), Expr::Literal(lit, lit_span)) => {
+            let (i, t) = resolve(c)?;
+            Ok(Predicate::CmpLit {
+                col: i,
+                op,
+                lit: coerce_literal(lit, t, *lit_span)?,
+            })
+        }
+        (Expr::Literal(lit, lit_span), Expr::Column(c)) => {
+            let (i, t) = resolve(c)?;
+            Ok(Predicate::CmpLit {
+                col: i,
+                op: flip(op),
+                lit: coerce_literal(lit, t, *lit_span)?,
+            })
+        }
+        (Expr::Literal(..), Expr::Literal(..)) => Err(SqlError::bind(
+            "comparison needs at least one column",
+            left.span().merge(right.span()),
+        )),
+        _ => Err(SqlError::bind(
+            "unsupported comparison operand",
+            left.span().merge(right.span()),
+        )),
+    }
+}
+
+/// `lit <op> col` rewritten as `col <flip(op)> lit`.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Coerce a literal to a column's type, or fail at the literal's span.
+fn coerce_literal(lit: &Literal, ty: LogicalType, span: Span) -> Result<Value, SqlError> {
+    match (lit, ty) {
+        (Literal::Int(v), LogicalType::Int32) => {
+            i32::try_from(*v).map(Value::Int32).map_err(|_| {
+                SqlError::bind(format!("integer literal {v} out of range for INT32"), span)
+            })
+        }
+        (Literal::Int(v), LogicalType::Int64) => Ok(Value::Int64(*v)),
+        (Literal::Int(v), LogicalType::Float64) => Ok(Value::Float64(*v as f64)),
+        (Literal::Float(v), LogicalType::Float64) => Ok(Value::Float64(*v)),
+        (Literal::Int(v), LogicalType::Date) => i32::try_from(*v).map(Value::Date).map_err(|_| {
+            SqlError::bind(format!("integer literal {v} out of range for DATE"), span)
+        }),
+        (Literal::Str(s), LogicalType::Date) => match parse_date(s) {
+            Some(days) => Ok(Value::Date(days)),
+            None => Err(SqlError::bind(
+                format!("`{s}` is not a date (expected 'YYYY-MM-DD')"),
+                span,
+            )),
+        },
+        (Literal::Str(s), LogicalType::Varchar) => Ok(Value::Varchar(s.clone())),
+        _ => Err(SqlError::bind(
+            format!("literal {lit} cannot be compared with a {ty} column"),
+            span,
+        )),
+    }
+}
+
+/// `'YYYY-MM-DD'` to days since 1970-01-01 (the engine's DATE encoding).
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let (y, m, d) = (it.next()?, it.next()?, it.next()?);
+    if it.next().is_some() || y.len() != 4 || m.len() != 2 || d.len() != 2 {
+        return None;
+    }
+    let y: i64 = y.parse().ok()?;
+    let m: u32 = m.parse().ok()?;
+    let d: u32 = d.parse().ok()?;
+    if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+        return None;
+    }
+    i32::try_from(days_from_civil(y, m, d)).ok()
+}
+
+fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days from the civil epoch 1970-01-01 (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+/// Accumulates grouping columns and deduplicated aggregate specs while the
+/// select list and `HAVING` bind.
+struct OutputBinder<'a> {
+    scope: &'a Scope,
+    input_schema: &'a [LogicalType],
+    group_cols: Vec<usize>,
+    aggregates: Vec<AggregateSpec>,
+}
+
+impl OutputBinder<'_> {
+    /// Bind one select-list expression in an aggregating query; returns the
+    /// output slot in (group keys ++ aggregates) space plus a derived name.
+    fn bind_select_item(&mut self, expr: &Expr) -> Result<(usize, String), SqlError> {
+        match expr {
+            Expr::Column(c) => {
+                let idx = self.scope.resolve(c)?;
+                match self.group_cols.iter().position(|&g| g == idx) {
+                    Some(pos) => Ok((pos, c.name.to_ascii_lowercase())),
+                    None => Err(SqlError::bind(
+                        format!(
+                            "column `{}` must appear in GROUP BY or inside an aggregate",
+                            c.name
+                        ),
+                        c.span,
+                    )),
+                }
+            }
+            Expr::Agg(call) => {
+                let agg_idx = self.bind_agg_call(call)?;
+                Ok((
+                    self.group_cols.len() + agg_idx,
+                    expr.to_string().to_ascii_lowercase(),
+                ))
+            }
+            other => Err(SqlError::bind(
+                "only columns and aggregate calls are supported in the select list",
+                other.span(),
+            )),
+        }
+    }
+
+    /// Lower an aggregate call to an [`AggregateSpec`], validate it with
+    /// the operator's binder, and return its index in the deduplicated
+    /// aggregate list.
+    fn bind_agg_call(&mut self, call: &AggCall) -> Result<usize, SqlError> {
+        let arg = match &call.arg {
+            None => None,
+            Some(c) => Some(self.scope.resolve(c)?),
+        };
+        let spec = match (call.func.as_str(), arg) {
+            ("COUNT", None) => AggregateSpec::count_star(),
+            ("COUNT", Some(c)) => AggregateSpec::count(c),
+            ("SUM", Some(c)) => AggregateSpec::sum(c),
+            ("MIN", Some(c)) => AggregateSpec::min(c),
+            ("MAX", Some(c)) => AggregateSpec::max(c),
+            ("AVG", Some(c)) => AggregateSpec::avg(c),
+            ("ANY_VALUE", Some(c)) => AggregateSpec::any_value(c),
+            ("VAR_SAMP", Some(c)) => AggregateSpec::var_samp(c),
+            ("STDDEV_SAMP", Some(c)) => AggregateSpec::stddev_samp(c),
+            (name, _) => {
+                return Err(SqlError::bind(
+                    format!(
+                        "unknown aggregate function `{name}` (supported: {})",
+                        crate::parser::AGGREGATE_FUNCTIONS.join(", ")
+                    ),
+                    call.span,
+                ))
+            }
+        };
+        // The operator's own binder is the single source of truth for type
+        // rules (SUM over VARCHAR, MIN/MAX over VARCHAR, …).
+        bind_aggregate(spec, self.input_schema)
+            .map_err(|e| SqlError::bind(e.to_string(), call.span))?;
+        match self.aggregates.iter().position(|s| *s == spec) {
+            Some(i) => Ok(i),
+            None => {
+                self.aggregates.push(spec);
+                Ok(self.aggregates.len() - 1)
+            }
+        }
+    }
+}
+
+/// Bind `HAVING` over the aggregate output space: group keys by name,
+/// aggregate calls by (deduplicated) spec.
+fn bind_having(expr: &Expr, binder: &mut OutputBinder<'_>) -> Result<Predicate, SqlError> {
+    match expr {
+        Expr::And(l, r) => Ok(Predicate::And(
+            Box::new(bind_having(l, binder)?),
+            Box::new(bind_having(r, binder)?),
+        )),
+        Expr::Or(l, r) => Ok(Predicate::Or(
+            Box::new(bind_having(l, binder)?),
+            Box::new(bind_having(r, binder)?),
+        )),
+        Expr::Cmp { op, left, right } => {
+            // Normalize to `operand <op> literal`; HAVING comparisons
+            // between two aggregates/keys are rare and unsupported.
+            let (operand, lit, lit_span, op) = match (&**left, &**right) {
+                (l, Expr::Literal(lit, s)) => (l, lit, *s, *op),
+                (Expr::Literal(lit, s), r) => (r, lit, *s, flip(*op)),
+                _ => {
+                    return Err(SqlError::bind(
+                        "HAVING comparisons must have a literal on one side",
+                        expr.span(),
+                    ))
+                }
+            };
+            let (slot, ty) = bind_having_operand(operand, binder)?;
+            Ok(Predicate::CmpLit {
+                col: slot,
+                op,
+                lit: coerce_literal(lit, ty, lit_span)?,
+            })
+        }
+        other => Err(SqlError::bind(
+            "expected a comparison or AND/OR combination in HAVING",
+            other.span(),
+        )),
+    }
+}
+
+/// Resolve a HAVING operand to a slot in the aggregate output schema.
+fn bind_having_operand(
+    expr: &Expr,
+    binder: &mut OutputBinder<'_>,
+) -> Result<(usize, LogicalType), SqlError> {
+    match expr {
+        Expr::Column(c) => {
+            let idx = binder.scope.resolve(c)?;
+            match binder.group_cols.iter().position(|&g| g == idx) {
+                Some(pos) => Ok((pos, binder.input_schema[idx])),
+                None => Err(SqlError::bind(
+                    format!("HAVING column `{}` must be a GROUP BY column", c.name),
+                    c.span,
+                )),
+            }
+        }
+        Expr::Agg(call) => {
+            let agg_idx = binder.bind_agg_call(call)?;
+            let ty = bind_aggregate(binder.aggregates[agg_idx], binder.input_schema)
+                .map_err(SqlError::Engine)?
+                .output_type;
+            Ok((binder.group_cols.len() + agg_idx, ty))
+        }
+        other => Err(SqlError::bind("unsupported HAVING operand", other.span())),
+    }
+}
+
+/// Resolve one `ORDER BY` key to an output column index.
+fn bind_order_key(
+    expr: &Expr,
+    query: &Query,
+    outputs: &[Output],
+    scope: &Scope,
+    aggregate: Option<&HashAggregatePlan>,
+    binder: &OutputBinder<'_>,
+) -> Result<usize, SqlError> {
+    match expr {
+        // 1-based output position, SQL style.
+        Expr::Literal(Literal::Int(n), span) => {
+            let n = *n;
+            if n < 1 || n as usize > outputs.len() {
+                return Err(SqlError::bind(
+                    format!("ORDER BY position {n} out of range (1..={})", outputs.len()),
+                    *span,
+                ));
+            }
+            Ok(n as usize - 1)
+        }
+        Expr::Column(c) => {
+            // Alias match first (unqualified only), then resolve as a
+            // column and match on the projected slot.
+            if c.table.is_none() {
+                if let Some(pos) = outputs
+                    .iter()
+                    .position(|o| o.name.eq_ignore_ascii_case(&c.name))
+                {
+                    return Ok(pos);
+                }
+            }
+            let idx = scope.resolve(c)?;
+            let slot = match aggregate {
+                None => idx,
+                Some(plan) => match plan.group_cols.iter().position(|&g| g == idx) {
+                    Some(pos) => pos,
+                    None => {
+                        return Err(SqlError::bind(
+                            format!("ORDER BY column `{}` must be a GROUP BY column", c.name),
+                            c.span,
+                        ))
+                    }
+                },
+            };
+            match outputs.iter().position(|o| o.slot == slot) {
+                Some(pos) => Ok(pos),
+                None => Err(SqlError::bind(
+                    format!(
+                        "ORDER BY column `{}` must appear in the SELECT list",
+                        c.name
+                    ),
+                    c.span,
+                )),
+            }
+        }
+        Expr::Agg(call) => {
+            let Some(_) = aggregate else {
+                return Err(SqlError::bind(
+                    "aggregate in ORDER BY requires GROUP BY",
+                    call.span,
+                ));
+            };
+            // Re-lower the call and find the matching select item. A fresh
+            // spec is fine: lowering is deterministic, and the select list
+            // has already registered every projected aggregate.
+            let mut probe = OutputBinder {
+                scope,
+                input_schema: binder.input_schema,
+                group_cols: binder.group_cols.clone(),
+                aggregates: binder.aggregates.clone(),
+            };
+            let agg_idx = probe.bind_agg_call(call)?;
+            if agg_idx >= binder.aggregates.len() {
+                return Err(SqlError::bind(
+                    "ORDER BY aggregate must appear in the SELECT list or HAVING",
+                    call.span,
+                ));
+            }
+            let slot = binder.group_cols.len() + agg_idx;
+            match outputs.iter().position(|o| o.slot == slot) {
+                Some(pos) => Ok(pos),
+                None => Err(SqlError::bind(
+                    "ORDER BY aggregate must appear in the SELECT list",
+                    call.span,
+                )),
+            }
+        }
+        other => Err(SqlError::bind(
+            "unsupported ORDER BY expression",
+            other.span(),
+        )),
+    }
+    .and_then(|pos| {
+        // Defensive: the sort sink indexes projected rows.
+        if pos < query.items.len().max(outputs.len()) {
+            Ok(pos)
+        } else {
+            Err(SqlError::bind(
+                "ORDER BY position out of range",
+                expr.span(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parsing_matches_epoch_days() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        // The lineitem generator anchors 1992-01-01 at day 8035.
+        assert_eq!(parse_date("1992-01-01"), Some(8035));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("2000-02-29"), Some(11016));
+        assert_eq!(parse_date("1900-02-29"), None);
+        assert_eq!(parse_date("1998-13-01"), None);
+        assert_eq!(parse_date("1998-00-01"), None);
+        assert_eq!(parse_date("98-01-01"), None);
+        assert_eq!(parse_date("not a date"), None);
+    }
+}

@@ -1,0 +1,286 @@
+//! Hand-written tokenizer with byte-offset spans.
+//!
+//! Keywords are not distinguished here: a keyword is an [`Tok::Ident`] the
+//! parser matches case-insensitively, which keeps the token set small and
+//! lets identifiers shadow nothing. String literals use single quotes with
+//! `''` as the escape for a quote, SQL style.
+
+use crate::error::{Span, SqlError};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Bare identifier or keyword (matched case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Dot,
+    Semi,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl Tok {
+    /// How the token prints in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("`{v}`"),
+            Tok::Float(v) => format!("`{v}`"),
+            Tok::Str(s) => format!("'{s}'"),
+            Tok::Comma => "`,`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Ne => "`<>`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus the byte range it was lexed from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenize `sql` completely. The result always ends with [`Tok::Eof`]
+/// whose span is the empty range at the end of the text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            b'-' => push1(&mut toks, Tok::Minus, &mut i),
+            b',' => push1(&mut toks, Tok::Comma, &mut i),
+            b'(' => push1(&mut toks, Tok::LParen, &mut i),
+            b')' => push1(&mut toks, Tok::RParen, &mut i),
+            b'*' => push1(&mut toks, Tok::Star, &mut i),
+            b'.' => push1(&mut toks, Tok::Dot, &mut i),
+            b';' => push1(&mut toks, Tok::Semi, &mut i),
+            b'=' => push1(&mut toks, Tok::Eq, &mut i),
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => push2(&mut toks, Tok::Le, &mut i),
+                Some(b'>') => push2(&mut toks, Tok::Ne, &mut i),
+                _ => push1(&mut toks, Tok::Lt, &mut i),
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(b'=') => push2(&mut toks, Tok::Ge, &mut i),
+                _ => push1(&mut toks, Tok::Gt, &mut i),
+            },
+            b'!' if bytes.get(i + 1) == Some(&b'=') => push2(&mut toks, Tok::Ne, &mut i),
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::parse(
+                                "unterminated string literal",
+                                Span::new(start, bytes.len()),
+                            ))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Consume one whole UTF-8 character.
+                            let ch = sql[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Str(s),
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' => {
+                let mut is_float = false;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                let span = Span::new(start, i);
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        SqlError::parse(format!("invalid numeric literal `{text}`"), span)
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        SqlError::parse(format!("integer literal `{text}` out of range"), span)
+                    })?)
+                };
+                toks.push(Token { tok, span });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(sql[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let ch = sql[i..].chars().next().unwrap();
+                return Err(SqlError::parse(
+                    format!("unexpected character `{ch}`"),
+                    Span::new(i, i + ch.len_utf8()),
+                ));
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(sql.len(), sql.len()),
+    });
+    Ok(toks)
+}
+
+fn push1(toks: &mut Vec<Token>, tok: Tok, i: &mut usize) {
+    toks.push(Token {
+        tok,
+        span: Span::new(*i, *i + 1),
+    });
+    *i += 1;
+}
+
+fn push2(toks: &mut Vec<Token>, tok: Tok, i: &mut usize) {
+    toks.push(Token {
+        tok,
+        span: Span::new(*i, *i + 2),
+    });
+    *i += 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Tok> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT a, SUM(b) FROM t WHERE c >= 1.5 AND d <> 'x''y';"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("SUM".into()),
+                Tok::LParen,
+                Tok::Ident("b".into()),
+                Tok::RParen,
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Float(1.5),
+                Tok::Ident("AND".into()),
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Str("x'y".into()),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = tokenize("SELECT  count(*)").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert_eq!(toks[1].span, Span::new(8, 13)); // count
+        assert_eq!(toks[2].span, Span::new(13, 14)); // (
+        assert_eq!(toks[3].span, Span::new(14, 15)); // *
+        assert_eq!(toks[4].span, Span::new(15, 16)); // )
+        assert_eq!(toks[5].span, Span::new(16, 16)); // Eof
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT a -- trailing comment\nFROM t"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_span() {
+        let e = tokenize("SELECT 'oops").unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(7, 12)));
+    }
+
+    #[test]
+    fn unexpected_character_errors_with_span() {
+        let e = tokenize("SELECT §").unwrap_err();
+        let span = e.span().unwrap();
+        assert_eq!(span.start, 7);
+    }
+}

@@ -1,0 +1,110 @@
+//! SQL end to end: register tables with the query service, submit SQL text,
+//! and read results plus the rendered execution profile.
+//!
+//! Two queries run against a generated TPC-H `lineitem` and a small
+//! hand-built `supplier` dimension:
+//!
+//! 1. the acceptance query shape — filter, GROUP BY, HAVING, ORDER BY;
+//! 2. a JOIN + GROUP BY rolling lineitems up to supplier nations.
+//!
+//! ```sh
+//! cargo run --release -p rexa-service --example sql_query
+//! ```
+
+use rexa_buffer::{BufferManager, BufferManagerConfig};
+use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Value, VECTOR_SIZE};
+use rexa_service::{QueryInput, QueryOutput, QueryService, ServiceConfig};
+use rexa_tpch::{generate_lineitem, LineitemColumn};
+use std::sync::Arc;
+
+const NATIONS: [&str; 5] = ["FRANCE", "GERMANY", "JAPAN", "KENYA", "PERU"];
+
+/// A supplier dimension keyed like `l_suppkey` (uniform in `[1, 10000·SF]`):
+/// `supplier(s_suppkey BIGINT, s_nation VARCHAR)`.
+fn build_suppliers(sf: f64) -> ChunkCollection {
+    let count = (10_000.0 * sf) as i64;
+    let types = vec![LogicalType::Int64, LogicalType::Varchar];
+    let mut coll = ChunkCollection::new(types.clone());
+    let mut chunk = DataChunk::empty(&types);
+    for key in 1..=count {
+        if chunk.len() == VECTOR_SIZE {
+            coll.push(std::mem::replace(&mut chunk, DataChunk::empty(&types)))
+                .unwrap();
+        }
+        let nation = NATIONS[(key % NATIONS.len() as i64) as usize];
+        chunk
+            .push_row(&[Value::Int64(key), Value::Varchar(nation.to_string())])
+            .unwrap();
+    }
+    if !chunk.is_empty() {
+        coll.push(chunk).unwrap();
+    }
+    coll
+}
+
+fn print_result(headline: &str, sql: &str, output: &QueryOutput) {
+    println!("== {headline}");
+    println!("{sql}\n");
+    let coll = output.output.as_ref().expect("collected output");
+    for chunk in coll.chunks() {
+        for i in 0..chunk.len() {
+            let row: Vec<String> = chunk.row(i).iter().map(|v| v.to_string()).collect();
+            println!("  {}", row.join(" | "));
+        }
+    }
+    println!("\n{}", output.stats.profile.render());
+}
+
+fn main() {
+    let sf = 0.05;
+    let mgr =
+        BufferManager::new(BufferManagerConfig::with_limit(256 << 20)).expect("buffer manager");
+    let service = QueryService::new(mgr, ServiceConfig::default());
+
+    println!("generating lineitem at SF {sf} …");
+    let lineitem = Arc::new(generate_lineitem(sf, 42));
+    println!(
+        "  {} rows, {} columns\n",
+        lineitem.rows(),
+        LineitemColumn::ALL.len()
+    );
+    service
+        .register_table(
+            "lineitem",
+            LineitemColumn::ALL
+                .iter()
+                .map(|c| c.name().to_string())
+                .collect(),
+            QueryInput::Collection(lineitem),
+        )
+        .unwrap();
+    service
+        .register_table(
+            "supplier",
+            vec!["s_suppkey".into(), "s_nation".into()],
+            QueryInput::Collection(Arc::new(build_suppliers(sf))),
+        )
+        .unwrap();
+
+    // Pricing-summary shape: filter, group, post-filter, sort.
+    let sql = "SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity), \
+               AVG(l_extendedprice) \
+               FROM lineitem WHERE l_shipdate <= '1998-09-02' \
+               GROUP BY l_returnflag, l_linestatus HAVING COUNT(*) > 100 \
+               ORDER BY l_returnflag, l_linestatus";
+    let output = service.submit_sql(sql).unwrap().wait().unwrap();
+    print_result("pricing summary (GROUP BY … HAVING)", sql, &output);
+
+    // Rollup over a joined dimension.
+    let sql = "SELECT s_nation, COUNT(*), SUM(l_extendedprice) \
+               FROM lineitem JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey \
+               GROUP BY s_nation ORDER BY s_nation";
+    let output = service.submit_sql(sql).unwrap().wait().unwrap();
+    print_result("revenue by supplier nation (JOIN + GROUP BY)", sql, &output);
+
+    // Malformed SQL comes back as a typed, spanned error — render it.
+    let bad = "SELECT l_returnflag, SUM(l_quantum) FROM lineitem GROUP BY l_returnflag";
+    if let Err(e) = service.submit_sql(bad) {
+        println!("== a bind error, rendered\n{}", e.render(bad));
+    }
+}
