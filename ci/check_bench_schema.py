@@ -39,11 +39,31 @@ PROFILE_KEYS = {
     "readahead_hits": int,
     "readahead_misses": int,
     "io_overlap_secs": float,
+    # Phase-1 strategy the run settled on: "thread_local", "shared", or an
+    # "adaptive:"-prefixed form recording the runtime decision.
+    "strategy": str,
+    # Per-worker phase-1 attribution (one entry per worker thread).
+    "workers": list,
+}
+
+# One entry of profile.workers: where phase-1 time and work actually went.
+WORKER_KEYS = {
+    "worker": int,
+    "busy_secs": float,
+    "morsels": int,
+    "chunks": int,
+    "ht_resets": int,
 }
 
 # Kernel-comparison workloads carry scalar/vectorized measurements; the
 # "external" workload compares sync vs async I/O scheduling instead.
 EXPECTED_WORKLOADS = ["thin_int", "wide_multi_key", "string_key", "external"]
+
+# The threads_sweep section (optional: present when the baseline was
+# produced with --threads-sweep) carries these workloads, in order; thin_int
+# points measure the adaptive default, low_card points compare adaptive
+# against forced thread-local.
+SWEEP_MODES = {"thin_int": ("vectorized",), "low_card": ("adaptive", "thread_local")}
 
 
 def fail(msg):
@@ -58,9 +78,11 @@ def check_keys(m, keys, where):
         if key not in m:
             fail(f"{where}: missing key {key!r}")
         v = m[key]
-        if ty is dict:
-            if not isinstance(v, dict):
-                fail(f"{where}.{key}: expected object, got {type(v).__name__}")
+        if ty in (dict, list, str):
+            if not isinstance(v, ty):
+                fail(f"{where}.{key}: expected {ty.__name__}, got {type(v).__name__}")
+            if ty is str and not v:
+                fail(f"{where}.{key}: empty string")
             continue
         # ints are acceptable where floats are expected (JSON "0").
         if ty is float and not isinstance(v, (int, float)):
@@ -77,6 +99,45 @@ def check_keys(m, keys, where):
 def check_measurement(m, where):
     check_keys(m, MEASUREMENT_KEYS, where)
     check_keys(m["profile"], PROFILE_KEYS, f"{where}.profile")
+    workers = m["profile"]["workers"]
+    for i, w in enumerate(workers):
+        check_keys(w, WORKER_KEYS, f"{where}.profile.workers[{i}]")
+    if [w["worker"] for w in workers] != list(range(len(workers))):
+        fail(f"{where}.profile.workers: indices not dense 0..{len(workers) - 1}")
+
+
+def check_threads_sweep(sweep):
+    check_keys(sweep, {"threads": list, "workloads": list}, "threads_sweep")
+    counts = sweep["threads"]
+    if not counts or any(not isinstance(t, int) or t <= 0 for t in counts):
+        fail(f"threads_sweep.threads: expected positive integers, got {counts!r}")
+    names = [w.get("workload") for w in sweep["workloads"]]
+    if names != list(SWEEP_MODES):
+        fail(f"threads_sweep.workloads: expected {list(SWEEP_MODES)}, got {names}")
+    for w in sweep["workloads"]:
+        name = w["workload"]
+        modes = SWEEP_MODES[name]
+        for key in ("rows", "groups"):
+            if not isinstance(w.get(key), int) or w[key] <= 0:
+                fail(f"threads_sweep.{name}.{key}: expected positive integer")
+        points = w.get("points")
+        if not isinstance(points, list):
+            fail(f"threads_sweep.{name}.points: expected array")
+        if [p.get("threads") for p in points] != counts:
+            fail(f"threads_sweep.{name}: points do not cover threads {counts}")
+        for p in points:
+            t = p["threads"]
+            where = f"threads_sweep.{name}@t{t}"
+            for mode in modes:
+                if mode not in p:
+                    fail(f"{where}: missing {mode!r} measurement")
+                check_measurement(p[mode], f"{where}.{mode}")
+            if name == "low_card":
+                speedup = p.get("adaptive_speedup")
+                if not isinstance(speedup, (int, float)) or speedup < 0:
+                    fail(f"{where}.adaptive_speedup: expected non-negative number")
+                if p["adaptive"]["groups"] != p["thread_local"]["groups"]:
+                    fail(f"{where}: strategies disagree on group count")
 
 
 def main():
@@ -115,7 +176,13 @@ def main():
         if w[modes[0]]["groups"] != w[modes[1]]["groups"]:
             fail(f"{name}: {modes[0]} and {modes[1]} disagree on group count")
 
-    print(f"schema check OK: {len(workloads)} workloads")
+    sweep = doc.get("threads_sweep")
+    swept = ""
+    if sweep is not None:
+        check_threads_sweep(sweep)
+        swept = f" + threads sweep over {sweep['threads']}"
+
+    print(f"schema check OK: {len(workloads)} workloads{swept}")
 
 
 if __name__ == "__main__":

@@ -27,6 +27,8 @@ fn args() -> HarnessArgs {
         page_size: 16 << 10,
         mem_limit: Some(48 << 20),
         csv: false,
+        threads_list: Vec::new(),
+        smoke: false,
     }
 }
 

@@ -10,13 +10,23 @@
 //! the schema.
 //!
 //! ```text
-//! agg_hotpath [--rows N] [--reps N] [--threads N] [--out PATH] [--sql]
+//! agg_hotpath [--rows N] [--reps N] [--threads N] [--threads-sweep 1,2,4,8]
+//!             [--out PATH] [--sql]
 //! ```
 //!
 //! `--sql` additionally routes every workload through the SQL front end
 //! (`rexa-sql`) before measuring, asserting that the lowered plan equals
 //! the hand-wired one and that single-threaded results are bit-identical.
 //! The benchmark numbers and the JSON schema are unchanged by the flag.
+//!
+//! `--threads-sweep T1,T2,…` additionally measures thread scaling: the
+//! `thin_int` workload at every listed thread count (phase-1 scaling of the
+//! morsel-driven probe), plus a 512-group `low_card` workload comparing the
+//! adaptive phase-1 strategy against forced thread-local — the regime where
+//! a shared table wins ("Global Hash Tables Strike Back!", PAPERS.md). The
+//! per-thread measurements, including per-worker attribution (busy secs,
+//! morsels claimed, ht_resets), land under a `threads_sweep` key in the
+//! JSON.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +35,7 @@ use rexa_buffer::{BufferManager, BufferManagerConfig, EvictionPolicy};
 use rexa_core::simple::sorted_rows;
 use rexa_core::{
     hash_aggregate_collect, hash_aggregate_streaming, AggregateConfig, AggregateSpec,
-    HashAggregatePlan, KernelMode, RunStats,
+    HashAggregatePlan, KernelMode, Phase1Strategy, RunStats,
 };
 use rexa_exec::pipeline::CollectionSource;
 use rexa_exec::pool::ExecContext;
@@ -39,6 +49,9 @@ struct Args {
     rows: usize,
     reps: usize,
     threads: usize,
+    /// `--threads-sweep 1,2,4,8`: also measure thread scaling at these
+    /// worker counts.
+    threads_sweep: Option<Vec<usize>>,
     out: String,
     sql: bool,
 }
@@ -48,6 +61,7 @@ fn parse_args() -> Args {
         rows: 2_000_000,
         reps: 3,
         threads: 1,
+        threads_sweep: None,
         out: "BENCH_agg.json".to_string(),
         sql: false,
     };
@@ -65,10 +79,21 @@ fn parse_args() -> Args {
             "--rows" => args.rows = value(&mut i).parse().expect("--rows"),
             "--reps" => args.reps = value(&mut i).parse::<usize>().expect("--reps").max(1),
             "--threads" => args.threads = value(&mut i).parse().expect("--threads"),
+            "--threads-sweep" => {
+                let list: Vec<usize> = value(&mut i)
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads-sweep"))
+                    .collect();
+                assert!(!list.is_empty(), "--threads-sweep needs at least one count");
+                args.threads_sweep = Some(list);
+            }
             "--out" => args.out = value(&mut i),
             "--sql" => args.sql = true,
             "--help" | "-h" => {
-                eprintln!("options: --rows N --reps N --threads N --out PATH --sql");
+                eprintln!(
+                    "options: --rows N --reps N --threads N \
+                     --threads-sweep T1,T2,… --out PATH --sql"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -199,6 +224,36 @@ fn external(rows: usize) -> Workload {
                 AggregateSpec::sum(1),
                 AggregateSpec::any_value(2),
             ],
+        },
+    }
+}
+
+/// Thin i64 key drawn from only 512 groups: the low-cardinality regime
+/// where thread-local tables mostly deduplicate the same few groups per
+/// worker and a single shared table wins ("Global Hash Tables Strike
+/// Back!", PAPERS.md) — the adaptive phase-1 strategy's win case, measured
+/// by the threads sweep against forced thread-local.
+fn low_card(rows: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xA664);
+    let mut coll = ChunkCollection::new(vec![LogicalType::Int64, LogicalType::Int64]);
+    let mut remaining = rows;
+    while remaining > 0 {
+        let n = remaining.min(VECTOR_SIZE);
+        remaining -= n;
+        let keys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..512)).collect();
+        let vals: Vec<i64> = keys.iter().map(|k| k.wrapping_mul(7)).collect();
+        coll.push(DataChunk::new(vec![
+            Vector::from_i64(keys),
+            Vector::from_i64(vals),
+        ]))
+        .unwrap();
+    }
+    Workload {
+        coll: Arc::new(coll),
+        name: "low_card",
+        plan: HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::count_star(), AggregateSpec::sum(1)],
         },
     }
 }
@@ -358,7 +413,14 @@ impl PoolSetup {
     }
 }
 
-fn measure(w: &Workload, mode: KernelMode, args: &Args, setup: &PoolSetup) -> Measurement {
+fn measure(
+    w: &Workload,
+    mode: KernelMode,
+    threads: usize,
+    strategy: Phase1Strategy,
+    reps: usize,
+    setup: &PoolSetup,
+) -> Measurement {
     let mgr = BufferManager::new(
         BufferManagerConfig::with_limit(setup.mem_limit)
             .page_size(setup.page_size)
@@ -369,17 +431,18 @@ fn measure(w: &Workload, mode: KernelMode, args: &Args, setup: &PoolSetup) -> Me
     )
     .unwrap();
     let config = AggregateConfig {
-        threads: args.threads,
+        threads,
         kernel_mode: mode,
         readahead_depth: setup.readahead_depth,
         radix_bits: setup.radix_bits,
+        phase1_strategy: strategy,
         ..Default::default()
     };
-    let mut p1 = Vec::with_capacity(args.reps);
-    let mut p2 = Vec::with_capacity(args.reps);
-    let mut total = Vec::with_capacity(args.reps);
+    let mut p1 = Vec::with_capacity(reps);
+    let mut p2 = Vec::with_capacity(reps);
+    let mut total = Vec::with_capacity(reps);
     let mut last: Option<RunStats> = None;
-    for _ in 0..args.reps {
+    for _ in 0..reps {
         let source = CollectionSource::new(&w.coll);
         let start = Instant::now();
         let stats =
@@ -418,6 +481,23 @@ fn json_measurement(m: &Measurement) -> String {
     let p = &m.profile;
     let phase = |ph: rexa_obs::Phase| &p.phases[ph.index()];
     let io_overlap: f64 = p.phases.iter().map(|ph| ph.overlap.as_secs_f64()).sum();
+    // Per-worker phase-1 attribution: where the probe time actually went.
+    let workers = p
+        .workers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"worker\": {}, \"busy_secs\": {:.6}, \"morsels\": {}, \
+                 \"chunks\": {}, \"ht_resets\": {}}}",
+                w.worker,
+                w.busy.as_secs_f64(),
+                w.morsels,
+                w.chunks,
+                w.ht_resets,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\"phase1_secs\": {:.6}, \"phase2_secs\": {:.6}, \"total_secs\": {:.6}, \
          \"phase1_rows_per_sec\": {:.1}, \"phase2_rows_per_sec\": {:.1}, \
@@ -426,7 +506,8 @@ fn json_measurement(m: &Measurement) -> String {
          \"finalize_busy_secs\": {:.6}, \"ht_resets\": {}, \"partitions\": {}, \
          \"partitions_external\": {}, \"spill_bytes_written\": {}, \
          \"spill_bytes_read\": {}, \"evictions\": {}, \"readahead_hits\": {}, \
-         \"readahead_misses\": {}, \"io_overlap_secs\": {:.6}}}}}",
+         \"readahead_misses\": {}, \"io_overlap_secs\": {:.6}, \
+         \"strategy\": \"{}\", \"workers\": [{}]}}}}",
         m.phase1_secs,
         m.phase2_secs,
         m.total_secs,
@@ -446,6 +527,8 @@ fn json_measurement(m: &Measurement) -> String {
         p.readahead_hits,
         p.readahead_misses,
         io_overlap,
+        p.strategy,
+        workers,
     )
 }
 
@@ -479,8 +562,22 @@ fn main() {
     .to_vec();
     let mut table = Vec::new();
     for w in &workloads {
-        let scalar = measure(w, KernelMode::Scalar, &args, &PoolSetup::in_memory());
-        let vectorized = measure(w, KernelMode::Vectorized, &args, &PoolSetup::in_memory());
+        let scalar = measure(
+            w,
+            KernelMode::Scalar,
+            args.threads,
+            Phase1Strategy::Adaptive,
+            args.reps,
+            &PoolSetup::in_memory(),
+        );
+        let vectorized = measure(
+            w,
+            KernelMode::Vectorized,
+            args.threads,
+            Phase1Strategy::Adaptive,
+            args.reps,
+            &PoolSetup::in_memory(),
+        );
         assert_eq!(
             scalar.groups, vectorized.groups,
             "{}: modes disagree on group count",
@@ -540,8 +637,22 @@ fn main() {
         radix_bits: Some(6),
         direct_io: true,
     };
-    let sync_m = measure(&ext, KernelMode::Vectorized, &args, &sync_setup);
-    let async_m = measure(&ext, KernelMode::Vectorized, &args, &async_setup);
+    let sync_m = measure(
+        &ext,
+        KernelMode::Vectorized,
+        args.threads,
+        Phase1Strategy::Adaptive,
+        args.reps,
+        &sync_setup,
+    );
+    let async_m = measure(
+        &ext,
+        KernelMode::Vectorized,
+        args.threads,
+        Phase1Strategy::Adaptive,
+        args.reps,
+        &async_setup,
+    );
     assert_eq!(
         sync_m.groups, async_m.groups,
         "external: sync and async disagree on group count"
@@ -575,13 +686,125 @@ fn main() {
     ));
 
     print_table(&header, &table);
+
+    // `--threads-sweep`: thread scaling of the morsel-driven probe
+    // (thin_int, adaptive) plus the adaptive-vs-thread-local comparison on
+    // the 512-group low_card workload, at every requested thread count.
+    let mut sweep_json = String::new();
+    if let Some(counts) = &args.threads_sweep {
+        println!("\nthreads sweep: {counts:?}");
+        let low = low_card(args.rows);
+        let sweep_header: Vec<String> = [
+            "workload",
+            "threads",
+            "strategy",
+            "phase1 Mrows/s",
+            "total s",
+        ]
+        .map(String::from)
+        .to_vec();
+        let mut sweep_table = Vec::new();
+        let mut thin_points = Vec::new();
+        let mut low_points = Vec::new();
+        let mut thin_info = (0usize, 0usize); // (rows, groups)
+        let mut low_info = (0usize, 0usize);
+        let thin = &workloads[0];
+        assert_eq!(thin.name, "thin_int");
+        for &t in counts {
+            let m = measure(
+                thin,
+                KernelMode::Vectorized,
+                t,
+                Phase1Strategy::Adaptive,
+                args.reps,
+                &PoolSetup::in_memory(),
+            );
+            sweep_table.push(vec![
+                thin.name.to_string(),
+                t.to_string(),
+                m.profile.strategy.clone(),
+                format!("{:.1}", rate(m.rows_in, m.phase1_secs) / 1e6),
+                format!("{:.3}", m.total_secs),
+            ]);
+            thin_info = (m.rows_in, m.groups);
+            thin_points.push(format!(
+                "        {{\"threads\": {}, \"vectorized\": {}}}",
+                t,
+                json_measurement(&m)
+            ));
+
+            let adaptive = measure(
+                &low,
+                KernelMode::Vectorized,
+                t,
+                Phase1Strategy::Adaptive,
+                args.reps,
+                &PoolSetup::in_memory(),
+            );
+            let thread_local = measure(
+                &low,
+                KernelMode::Vectorized,
+                t,
+                Phase1Strategy::ThreadLocal,
+                args.reps,
+                &PoolSetup::in_memory(),
+            );
+            assert_eq!(
+                adaptive.groups, thread_local.groups,
+                "low_card: strategies disagree on group count"
+            );
+            let speedup = if adaptive.total_secs > 0.0 {
+                thread_local.total_secs / adaptive.total_secs
+            } else {
+                0.0
+            };
+            for (m, label) in [(&adaptive, "adaptive"), (&thread_local, "thread_local")] {
+                sweep_table.push(vec![
+                    low.name.to_string(),
+                    t.to_string(),
+                    format!("{label}:{}", m.profile.strategy),
+                    format!("{:.1}", rate(m.rows_in, m.phase1_secs) / 1e6),
+                    format!("{:.3}", m.total_secs),
+                ]);
+            }
+            low_info = (adaptive.rows_in, adaptive.groups);
+            low_points.push(format!(
+                "        {{\"threads\": {}, \"adaptive\": {}, \"thread_local\": {}, \
+                 \"adaptive_speedup\": {:.3}}}",
+                t,
+                json_measurement(&adaptive),
+                json_measurement(&thread_local),
+                speedup,
+            ));
+        }
+        print_table(&sweep_header, &sweep_table);
+        let counts_json = counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        sweep_json = format!(
+            ",\n  \"threads_sweep\": {{\n    \"threads\": [{}],\n    \"workloads\": [\n      \
+             {{\"workload\": \"thin_int\", \"rows\": {}, \"groups\": {}, \"points\": [\n{}\n      ]}},\n      \
+             {{\"workload\": \"low_card\", \"rows\": {}, \"groups\": {}, \"points\": [\n{}\n      ]}}\n    ]\n  }}",
+            counts_json,
+            thin_info.0,
+            thin_info.1,
+            thin_points.join(",\n"),
+            low_info.0,
+            low_info.1,
+            low_points.join(",\n"),
+        );
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"agg_hotpath\",\n  \"rows\": {},\n  \"reps\": {},\n  \
-         \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"threads\": {},\n  \"workloads\": [\n{}\n  ]{}\n}}\n",
         args.rows,
         args.reps,
         args.threads,
         entries.join(",\n"),
+        sweep_json,
     );
     std::fs::write(&args.out, &json).expect("write BENCH_agg.json");
     println!("wrote {}", args.out);

@@ -50,6 +50,12 @@ pub struct HarnessArgs {
     pub mem_limit: Option<usize>,
     /// Emit CSV rows in addition to the text table.
     pub csv: bool,
+    /// Extra thread counts to run the robust engine at (the threads axis of
+    /// the scaling figures); the four-system comparison stays at `threads`.
+    pub threads_list: Vec<usize>,
+    /// CI smoke mode: tiny scale, short timeout, truncated SF list — checks
+    /// the driver end to end, measures nothing meaningful.
+    pub smoke: bool,
 }
 
 impl Default for HarnessArgs {
@@ -64,13 +70,16 @@ impl Default for HarnessArgs {
             page_size: 64 << 10,
             mem_limit: None,
             csv: false,
+            threads_list: Vec::new(),
+            smoke: false,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parse `--scale X --timeout-secs N --threads N --reps N --page-kib N
-    /// --mem-mib N --csv` from the process arguments.
+    /// Parse `--scale X --timeout-secs N --threads N --threads-list T1,T2,…
+    /// --reps N --page-kib N --mem-mib N --csv --smoke` from the process
+    /// arguments.
     pub fn parse() -> Self {
         let mut args = HarnessArgs::default();
         let argv: Vec<String> = std::env::args().collect();
@@ -89,6 +98,12 @@ impl HarnessArgs {
                     args.timeout = Duration::from_secs(value(&mut i).parse().expect("--timeout"))
                 }
                 "--threads" => args.threads = value(&mut i).parse().expect("--threads"),
+                "--threads-list" => {
+                    args.threads_list = value(&mut i)
+                        .split(',')
+                        .map(|t| t.trim().parse().expect("--threads-list"))
+                        .collect()
+                }
                 "--reps" => args.reps = value(&mut i).parse().expect("--reps"),
                 "--page-kib" => {
                     args.page_size = value(&mut i).parse::<usize>().expect("--page-kib") << 10
@@ -97,10 +112,18 @@ impl HarnessArgs {
                     args.mem_limit = Some(value(&mut i).parse::<usize>().expect("--mem-mib") << 20)
                 }
                 "--csv" => args.csv = true,
+                "--smoke" => {
+                    args.smoke = true;
+                    args.scale = 0.002;
+                    args.reps = 1;
+                    args.timeout = Duration::from_secs(60);
+                    args.mem_limit = Some(64 << 20);
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --scale F --timeout-secs N --threads N --reps N \
-                         --page-kib N --mem-mib N --csv"
+                        "options: --scale F --timeout-secs N --threads N \
+                         --threads-list T1,T2,… --reps N --page-kib N --mem-mib N \
+                         --csv --smoke"
                     );
                     std::process::exit(0);
                 }
@@ -487,6 +510,8 @@ mod tests {
             page_size: 8 << 10,
             mem_limit: Some(64 << 20),
             csv: false,
+            threads_list: Vec::new(),
+            smoke: false,
         }
     }
 

@@ -11,6 +11,11 @@ use rexa_tpch::GROUPINGS;
 /// Run the grouping-table experiment and print it.
 pub fn run_groupings_table(wide: bool, paper_sfs: &[f64]) {
     let args = HarnessArgs::parse();
+    let paper_sfs = if args.smoke {
+        &paper_sfs[..paper_sfs.len().min(2)]
+    } else {
+        paper_sfs
+    };
     let variant = if wide { "wide" } else { "thin" };
     println!(
         "Table {}: {variant} groupings | scale={} mem={} MiB threads={} timeout={}s reps={}",
@@ -95,9 +100,17 @@ pub fn run_groupings_table(wide: bool, paper_sfs: &[f64]) {
 }
 
 /// Shared driver for Figures 5 (thin) and 6 (wide): runtime vs. paper SF for
-/// groupings 3, 6, and 13, every system, log-log series.
+/// groupings 3, 6, and 13, every system, log-log series. With
+/// `--threads-list T1,T2,…` the robust engine additionally runs at each
+/// listed thread count (columns `gN:rexa@tT`), making worker threads a
+/// second axis of the figure; `--smoke` truncates the SF list for CI.
 pub fn run_scaling_figure(wide: bool, paper_sfs: &[f64]) {
     let args = HarnessArgs::parse();
+    let paper_sfs = if args.smoke {
+        &paper_sfs[..paper_sfs.len().min(2)]
+    } else {
+        paper_sfs
+    };
     let variant = if wide { "wide" } else { "thin" };
     println!(
         "Figure {}: execution time vs. scale factor, {variant} groupings 3/6/13 | scale={} mem={} MiB",
@@ -111,6 +124,9 @@ pub fn run_scaling_figure(wide: bool, paper_sfs: &[f64]) {
     for g in &groupings {
         for kind in SystemKind::ALL {
             header.push(format!("g{}:{}", g.id, kind.label()));
+        }
+        for &t in &args.threads_list {
+            header.push(format!("g{}:rexa@t{t}", g.id));
         }
     }
     let mut rows = Vec::new();
@@ -128,6 +144,16 @@ pub fn run_scaling_figure(wide: bool, paper_sfs: &[f64]) {
                     kind.label(),
                     out.cell()
                 );
+                row.push(out.cell());
+            }
+            // The threads axis: the robust engine again at each extra
+            // worker count, same dataset and memory limit.
+            for &t in &args.threads_list {
+                let mut targs = args.clone();
+                targs.threads = t;
+                let env = build_env(&ds, &targs, EvictionPolicy::Mixed);
+                let out = run_grouping(SystemKind::Robust, &env, *g, wide, &targs);
+                println!("csv:{variant},{sf},{},rexa@t{t},{}", g.id, out.cell());
                 row.push(out.cell());
             }
         }

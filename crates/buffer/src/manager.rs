@@ -1298,35 +1298,111 @@ impl Drop for MemoryReservation {
 /// as it materialises the memory the footprint estimate promised, instead of
 /// charging the manager twice (once for the reservation, once for the
 /// allocation).
-pub struct ReservationGrant(Mutex<MemoryReservation>);
+///
+/// `spend` is the per-fragment hot path of a many-worker aggregation, and
+/// each call used to lock the reservation and walk the manager's global
+/// `Accounting` mutex. Spends are now *batched*: the slow path releases a
+/// whole [`SPEND_BATCH`] chunk from the reservation in one accounting
+/// transaction and parks the surplus in an atomic `prepaid` credit, so the
+/// common spend is a single CAS that touches neither lock.
+pub struct ReservationGrant {
+    inner: Mutex<MemoryReservation>,
+    /// Bytes already released to the global accounting but not yet consumed
+    /// by `spend` calls. Invariant: a grant's promised bytes are
+    /// `inner.size() + prepaid`; prepaid bytes need no release on drop
+    /// because the accounting already saw them go.
+    prepaid: AtomicUsize,
+}
+
+/// Granularity of batched grant spends: one accounting transaction buys this
+/// many bytes of lock-free spending headroom.
+const SPEND_BATCH: usize = 256 << 10;
 
 impl ReservationGrant {
     /// Wrap a reservation for sharing across the query's worker threads.
     pub fn new(reservation: MemoryReservation) -> Self {
-        ReservationGrant(Mutex::new(reservation))
+        ReservationGrant {
+            inner: Mutex::new(reservation),
+            prepaid: AtomicUsize::new(0),
+        }
     }
 
-    /// Bytes not yet carved out of the grant.
+    /// Bytes not yet carved out of the grant (including batched spend
+    /// credit that has not been consumed yet).
     pub fn remaining(&self) -> usize {
-        self.0.lock().size()
+        self.inner.lock().size() + self.prepaid.load(Ordering::Relaxed)
+    }
+
+    /// CAS-subtract up to `want` bytes from the prepaid credit; returns how
+    /// many were actually taken.
+    fn take_prepaid(&self, want: usize) -> usize {
+        let mut cur = self.prepaid.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(cur);
+            if take == 0 {
+                return 0;
+            }
+            match self.prepaid.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => cur = now,
+            }
+        }
     }
 }
 
 impl rexa_exec::MemoryGrant for ReservationGrant {
     fn take(&self, bytes: usize) -> Option<Box<dyn std::any::Any + Send + Sync>> {
-        self.0
-            .lock()
-            .split(bytes)
-            .map(|r| Box::new(r) as Box<dyn std::any::Any + Send + Sync>)
+        let mut r = self.inner.lock();
+        if r.size() < bytes {
+            // The reservation alone cannot cover the carve, but batched
+            // spend credit might. Reclaiming it means re-reserving from the
+            // accounting (the credit was already released), which can fail
+            // under pressure — on failure the credit goes back untouched.
+            let deficit = bytes - r.size();
+            let reclaim = self.take_prepaid(deficit);
+            let grown = r.size() + reclaim;
+            if reclaim < deficit || r.resize(grown).is_err() {
+                self.prepaid.fetch_add(reclaim, Ordering::Relaxed);
+                return None;
+            }
+        }
+        r.split(bytes)
+            .map(|res| Box::new(res) as Box<dyn std::any::Any + Send + Sync>)
     }
 
     fn spend(&self, bytes: usize) -> usize {
-        let mut r = self.0.lock();
-        let spent = bytes.min(r.size());
-        let target = r.size() - spent;
+        // Fast path: consume prepaid credit without touching any lock.
+        let mut cur = self.prepaid.load(Ordering::Relaxed);
+        while cur >= bytes {
+            match self.prepaid.compare_exchange_weak(
+                cur,
+                cur - bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return bytes,
+                Err(now) => cur = now,
+            }
+        }
+        // Slow path: drain what credit there is, release the rest from the
+        // reservation, and prepay a batch so the next spends stay lock-free.
+        let from_prepaid = self.take_prepaid(bytes);
+        let mut r = self.inner.lock();
+        let need = bytes - from_prepaid;
+        let direct = need.min(r.size());
+        let batch = SPEND_BATCH.min(r.size() - direct);
+        let shrunk = r.size() - direct - batch;
         // Shrinking cannot fail.
-        let _ = r.resize(target);
-        spent
+        let _ = r.resize(shrunk);
+        if batch > 0 {
+            self.prepaid.fetch_add(batch, Ordering::Relaxed);
+        }
+        from_prepaid + direct
     }
 }
 
@@ -1897,5 +1973,88 @@ mod tests {
         let p = mgr.pin(&ph).unwrap();
         check(&p, 0xCD);
         assert_eq!(mgr.stats().evictions_persistent, 1);
+    }
+
+    #[test]
+    fn grant_spend_batches_accounting_releases() {
+        use rexa_exec::MemoryGrant;
+        let mgr = mgr_with(4096, EvictionPolicy::Mixed); // 4 MiB
+        let grant = ReservationGrant::new(mgr.reserve(1 << 20).unwrap());
+        assert_eq!(mgr.stats().non_paged, 1 << 20);
+        assert_eq!(grant.remaining(), 1 << 20);
+        // The first spend releases a whole batch from the accounting and
+        // parks the surplus as credit; follow-up spends within the batch
+        // must not move the global gauge at all.
+        assert_eq!(grant.spend(4 << 10), 4 << 10);
+        let after_first = mgr.stats().non_paged;
+        assert_eq!(after_first, (1 << 20) - (4 << 10) - SPEND_BATCH);
+        for _ in 0..8 {
+            assert_eq!(grant.spend(4 << 10), 4 << 10);
+            assert_eq!(mgr.stats().non_paged, after_first);
+        }
+        // Promised bytes are conserved across the batching.
+        assert_eq!(grant.remaining(), (1 << 20) - 9 * (4 << 10));
+    }
+
+    #[test]
+    fn grant_spend_exhausts_exactly_once() {
+        use rexa_exec::MemoryGrant;
+        let mgr = mgr_with(4096, EvictionPolicy::Mixed);
+        let grant = ReservationGrant::new(mgr.reserve(100 * 1024).unwrap());
+        let mut spent = 0usize;
+        loop {
+            let got = grant.spend(16 << 10);
+            spent += got;
+            if got < 16 << 10 {
+                break;
+            }
+        }
+        assert_eq!(spent, 100 * 1024, "every promised byte spendable once");
+        assert_eq!(grant.remaining(), 0);
+        assert_eq!(grant.spend(1), 0, "an exhausted grant spends nothing");
+        drop(grant);
+        assert_eq!(mgr.stats().non_paged, 0, "no bytes leaked or double-freed");
+    }
+
+    #[test]
+    fn grant_take_reclaims_prepaid_credit() {
+        use rexa_exec::MemoryGrant;
+        let mgr = mgr_with(4096, EvictionPolicy::Mixed);
+        let grant = ReservationGrant::new(mgr.reserve(512 << 10).unwrap());
+        // Spend a little: the batch leaves the inner reservation short.
+        assert_eq!(grant.spend(8 << 10), 8 << 10);
+        // A carve larger than the shrunken reservation must pull the
+        // batched credit back in rather than fail.
+        let carved = grant.take(400 << 10).expect("credit reclaimable");
+        assert_eq!(grant.remaining(), (512 << 10) - (8 << 10) - (400 << 10));
+        drop(carved);
+        drop(grant);
+        assert_eq!(mgr.stats().non_paged, 0);
+    }
+
+    #[test]
+    fn grant_concurrent_spends_account_exactly() {
+        use rexa_exec::MemoryGrant;
+        let mgr = mgr_with(8192, EvictionPolicy::Mixed);
+        let total = 4 << 20;
+        let grant = Arc::new(ReservationGrant::new(mgr.reserve(total).unwrap()));
+        let spent: AtomicUsize = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let grant = Arc::clone(&grant);
+                let spent = &spent;
+                s.spawn(move || loop {
+                    let got = grant.spend(3 << 10);
+                    spent.fetch_add(got, Ordering::Relaxed);
+                    if got == 0 {
+                        break;
+                    }
+                });
+            }
+        });
+        assert_eq!(spent.load(Ordering::Relaxed), total);
+        assert_eq!(grant.remaining(), 0);
+        drop(grant);
+        assert_eq!(mgr.stats().non_paged, 0);
     }
 }

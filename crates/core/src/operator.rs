@@ -27,18 +27,18 @@ use crate::function::{
 };
 use crate::ht::{
     entry_ptr, is_pending, make_entry, make_pending, pending_ord, prefetch_read, salt_bits,
-    SaltedHashTable,
+    SaltedHashTable, SharedGroupIndex,
 };
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rexa_buffer::{BufferManager, BufferStats};
-use rexa_exec::pipeline::{parallel_for_ctx, ChunkSource, LocalSink, ParallelSink, Pipeline};
+use rexa_exec::pipeline::ChunkSource;
 use rexa_exec::pool::ExecContext;
 use rexa_exec::vector::VectorData;
 use rexa_exec::{hashing, DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
 use rexa_layout::matcher::{row_row_match, row_row_match_sel, rows_match, rows_match_sel};
 use rexa_layout::{PartitionedTupleData, TupleDataCollection, TupleDataLayout};
 use rexa_obs::{Phase, ProfileCollector, QueryProfile};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,6 +69,28 @@ pub enum KernelMode {
     Scalar,
 }
 
+/// How phase 1 organizes its hash table(s) across workers.
+///
+/// The paper's design is thread-local tables feeding radix partitions; the
+/// "Global Hash Tables Strike Back!" analysis shows that at low group counts
+/// one shared table wins, because per-worker duplication (and the merge work
+/// it creates) dominates once the working set is cache-resident. `Adaptive`
+/// samples the first morsels and picks per run.
+///
+/// The shared strategy is only ever active at `threads > 1` — single-thread
+/// runs always take the thread-local path, so the scalar/vectorized
+/// bit-identity contract of [`KernelMode`] is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase1Strategy {
+    /// Decide at runtime from observed group density in the first morsels.
+    #[default]
+    Adaptive,
+    /// Always thread-local salted tables + radix partitions (the paper).
+    ThreadLocal,
+    /// Always one shared concurrent group index.
+    Shared,
+}
+
 /// Tuning knobs of the operator.
 #[derive(Debug, Clone)]
 pub struct AggregateConfig {
@@ -96,6 +118,9 @@ pub struct AggregateConfig {
     /// (`BufferManagerConfig::io_writers`); a synchronous manager ignores
     /// prefetch requests.
     pub readahead_depth: usize,
+    /// Phase-1 table organization (see [`Phase1Strategy`]). The decision a
+    /// run actually took is recorded in the profile's `strategy` field.
+    pub phase1_strategy: Phase1Strategy,
 }
 
 impl Default for AggregateConfig {
@@ -110,6 +135,7 @@ impl Default for AggregateConfig {
             reset_fill_percent: 66,
             kernel_mode: KernelMode::Vectorized,
             readahead_depth: 2,
+            phase1_strategy: Phase1Strategy::Adaptive,
         }
     }
 }
@@ -259,6 +285,36 @@ fn input_rows_equal(cols: &[&Vector], a: usize, b: usize) -> bool {
     true
 }
 
+/// Adaptive-decision states (see [`Phase1Strategy`]).
+const DECIDE_PENDING: u8 = 0;
+const DECIDE_LOCAL: u8 = 1;
+const DECIDE_SHARED: u8 = 2;
+
+/// Rows one worker must observe before it may resolve the adaptive
+/// decision (a few probe chunks: enough to see the group density).
+const STRATEGY_SAMPLE_ROWS: usize = 4096;
+/// Adaptive: most distinct groups a sampling worker may have seen for the
+/// shared strategy to be worthwhile.
+const SHARED_CARD_MAX: usize = 4096;
+/// Adaptive: minimum observed rows-per-group density for the shared
+/// strategy (sparser than this and the input may just be short).
+const SHARED_DENSITY_MIN: usize = 8;
+/// Adaptive: shared-index headroom multiplier over the sampled group count
+/// (a mild underestimate must not immediately overflow; a large one
+/// overflows and falls back, which is safe — overflow rows merge by key).
+const SHARED_HEADROOM: usize = 4;
+
+/// Phase-1 state of the shared ("global table") strategy.
+struct SharedPhase1 {
+    /// The concurrent group index: lock-free probes, serialized inserts.
+    index: SharedGroupIndex,
+    /// Canonical key rows, radix-partitioned like every other fragment.
+    /// The mutex doubles as the index's insert lock. Pages stay pinned —
+    /// workers key-compare against them lock-free — until the last worker
+    /// to finish probing absorbs the set into its own fragments.
+    canon: Mutex<PartitionedTupleData>,
+}
+
 /// Shared sink state for phase 1.
 struct AggSink<'a> {
     plan: &'a BoundPlan,
@@ -266,9 +322,83 @@ struct AggSink<'a> {
     config: &'a AggregateConfig,
     ctx: &'a ExecContext,
     radix_bits: u32,
-    shared: Mutex<PartitionedTupleData>,
     rows_in: AtomicUsize,
     resets: AtomicU64,
+    /// The phase-1 strategy this run resolved to (`DECIDE_*`).
+    decision: AtomicU8,
+    /// Installed shared-strategy state; `Some` exactly when the decision is
+    /// [`DECIDE_SHARED`]. Doubles as the decision lock.
+    shared_p1: Mutex<Option<Arc<SharedPhase1>>>,
+}
+
+impl AggSink<'_> {
+    /// Create the thread-local state for one worker.
+    fn local(&self) -> Result<LocalAgg<'_>> {
+        Ok(LocalAgg {
+            sink: self,
+            ht: SaltedHashTable::with_capacity_ctx(self.mgr, self.config.ht_capacity, self.ctx)?,
+            data: PartitionedTupleData::new(self.mgr, &self.plan.layout, self.radix_bits),
+            targets: Vec::new(),
+            hashes: Vec::new(),
+            new_sel: Vec::new(),
+            pending_slots: Vec::new(),
+            scratch: ProbeScratch::default(),
+            shared_mode: None,
+            rows_in: 0,
+            resets: 0,
+        })
+    }
+
+    /// Install the shared-strategy state (index + canonical partition set)
+    /// and publish the decision. No-op if a decision was already made.
+    fn install_shared(&self, max_groups: usize) -> Result<()> {
+        let mut slot = self.shared_p1.lock();
+        if self.decision.load(Ordering::Acquire) != DECIDE_PENDING {
+            return Ok(());
+        }
+        let index = SharedGroupIndex::with_capacity_ctx(self.mgr, max_groups, self.ctx)?;
+        let canon = PartitionedTupleData::new(self.mgr, &self.plan.layout, self.radix_bits);
+        *slot = Some(Arc::new(SharedPhase1 {
+            index,
+            canon: Mutex::new(canon),
+        }));
+        self.decision.store(DECIDE_SHARED, Ordering::Release);
+        if let Some(p) = self.ctx.profile() {
+            p.set_strategy("shared");
+        }
+        Ok(())
+    }
+
+    /// Publish a thread-local decision (forced, single-threaded, or the
+    /// adaptive outcome). No-op if a decision was already made.
+    fn settle_local(&self) {
+        let _slot = self.shared_p1.lock();
+        if self.decision.load(Ordering::Acquire) == DECIDE_PENDING {
+            self.decision.store(DECIDE_LOCAL, Ordering::Release);
+            if let Some(p) = self.ctx.profile() {
+                p.set_strategy("thread_local");
+            }
+        }
+    }
+
+    /// Resolve the adaptive decision from one worker's sample; the first
+    /// decider wins. The index is sized from the *observed* cardinality
+    /// (with headroom), not a fixed worst case — under a tight memory
+    /// limit a constant-size index would starve the other workers. A
+    /// shared verdict falls back to thread-local when the index cannot be
+    /// allocated (memory pressure is exactly when the extra allocation is
+    /// wrong anyway).
+    fn decide(&self, want_shared: bool, groups_seen: usize) -> u8 {
+        let cur = self.decision.load(Ordering::Acquire);
+        if cur != DECIDE_PENDING {
+            return cur;
+        }
+        let max_groups = (groups_seen * SHARED_HEADROOM).max(1024);
+        if !want_shared || self.install_shared(max_groups).is_err() {
+            self.settle_local();
+        }
+        self.decision.load(Ordering::Acquire)
+    }
 }
 
 /// Reusable per-chunk scratch of a thread-local sink. Everything in here is
@@ -333,37 +463,42 @@ impl ProbeScratch {
     }
 }
 
+/// A worker's view of the shared strategy: a private accumulator row per
+/// group ordinal, so aggregate updates never need atomics. The claiming
+/// worker's accumulator *is* the canonical row; every other worker
+/// materializes its own on first contact, and phase 2 merges them by key
+/// like any other duplicates (all rows of a group share a hash, so they
+/// always land in the same radix partition).
+struct SharedLocal {
+    sp: Arc<SharedPhase1>,
+    /// Ordinal → this worker's accumulator row (null until first seen).
+    local_ords: Vec<*mut u8>,
+    /// Scratch: ordinals whose accumulator row materializes this chunk.
+    new_ords: Vec<usize>,
+}
+
+// SAFETY: the row pointers target pages owned by this worker's partitioned
+// data (pinned until its flush — the shared path never resets) or canonical
+// pages kept pinned through `sp`; only this worker dereferences them.
+unsafe impl Send for SharedLocal {}
+
 /// Thread-local phase-1 state.
 struct LocalAgg<'a> {
     sink: &'a AggSink<'a>,
     ht: SaltedHashTable,
     data: PartitionedTupleData,
     /// Per-row resolution of the current chunk: an entry-encoded value
-    /// (pending flag + ordinal, or a row pointer).
+    /// (pending flag + ordinal, or a row pointer) on the thread-local
+    /// path; a group ordinal (`u64::MAX` = none) on the shared path.
     targets: Vec<u64>,
     hashes: Vec<u64>,
     new_sel: Vec<u32>,
     pending_slots: Vec<usize>,
     scratch: ProbeScratch,
+    /// `Some` once this worker switched to the shared strategy.
+    shared_mode: Option<SharedLocal>,
     rows_in: usize,
     resets: u64,
-}
-
-impl ParallelSink for AggSink<'_> {
-    fn local(&self) -> Result<Box<dyn LocalSink + '_>> {
-        Ok(Box::new(LocalAgg {
-            sink: self,
-            ht: SaltedHashTable::with_capacity_ctx(self.mgr, self.config.ht_capacity, self.ctx)?,
-            data: PartitionedTupleData::new(self.mgr, &self.plan.layout, self.radix_bits),
-            targets: Vec::new(),
-            hashes: Vec::new(),
-            new_sel: Vec::new(),
-            pending_slots: Vec::new(),
-            scratch: ProbeScratch::default(),
-            rows_in: 0,
-            resets: 0,
-        }))
-    }
 }
 
 impl LocalAgg<'_> {
@@ -618,14 +753,15 @@ impl LocalAgg<'_> {
     }
 }
 
-impl LocalSink for LocalAgg<'_> {
+impl LocalAgg<'_> {
+    /// Consume one chunk (strategy-dispatched).
     fn sink(&mut self, chunk: &DataChunk) -> Result<()> {
         let plan = self.sink.plan;
-        let mode = self.sink.config.kernel_mode;
         let n = chunk.len();
         if n == 0 {
             return Ok(());
         }
+        self.check_strategy();
         let mut group_views = ProbeScratch::take_views(&mut self.scratch.group_views);
         group_views.extend(plan.group_cols.iter().map(|&c| chunk.column(c)));
 
@@ -637,14 +773,75 @@ impl LocalSink for LocalAgg<'_> {
             hashing::hash_vector(col, &mut self.hashes, ci > 0);
         }
 
+        let res = if self.shared_mode.is_some() {
+            self.sink_shared(chunk, &group_views, n)
+        } else {
+            self.sink_local(chunk, &group_views, n)
+        };
+        ProbeScratch::put_views(&mut self.scratch.group_views, group_views);
+        res?;
+        self.rows_in += n;
+        Ok(())
+    }
+
+    /// Observe the run-wide strategy decision at chunk granularity, and (on
+    /// the adaptive path) contribute this worker's sample once it is large
+    /// enough. An overflowed shared index drops this worker back to the
+    /// thread-local path permanently — rows already routed through the
+    /// index merge by key in phase 2 regardless.
+    fn check_strategy(&mut self) {
+        if let Some(sl) = &self.shared_mode {
+            if sl.sp.index.overflowed() {
+                self.shared_mode = None;
+            }
+            return;
+        }
+        if self.sink.config.threads <= 1 {
+            return;
+        }
+        match self.sink.decision.load(Ordering::Acquire) {
+            DECIDE_SHARED => self.enter_shared(),
+            DECIDE_PENDING if self.rows_in >= STRATEGY_SAMPLE_ROWS => {
+                let groups_seen = self.ht.count();
+                let want_shared = self.resets == 0
+                    && groups_seen <= SHARED_CARD_MAX
+                    && groups_seen * SHARED_DENSITY_MIN <= self.rows_in;
+                if self.sink.decide(want_shared, groups_seen) == DECIDE_SHARED {
+                    self.enter_shared();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Adopt the installed shared state. Whatever this worker's local table
+    /// accumulated while sampling stays in its fragments — phase 2 merges
+    /// those rows with the shared-path rows by key.
+    fn enter_shared(&mut self) {
+        let sp = self.sink.shared_p1.lock().as_ref().map(Arc::clone);
+        if let Some(sp) = sp {
+            if !sp.index.overflowed() {
+                self.shared_mode = Some(SharedLocal {
+                    sp,
+                    local_ords: Vec::new(),
+                    new_ords: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Thread-local chunk path (the paper's design).
+    fn sink_local(&mut self, chunk: &DataChunk, group_views: &[&Vector], n: usize) -> Result<()> {
+        let plan = self.sink.plan;
+        let mode = self.sink.config.kernel_mode;
         // Probe: resolve every input row to an existing row pointer or a
         // pending new-group ordinal.
         self.targets.clear();
         self.new_sel.clear();
         self.pending_slots.clear();
         match mode {
-            KernelMode::Scalar => self.probe_scalar(&group_views, n),
-            KernelMode::Vectorized => self.probe_vectorized(&group_views, n),
+            KernelMode::Scalar => self.probe_scalar(group_views, n),
+            KernelMode::Vectorized => self.probe_vectorized(group_views, n),
         }
 
         // Materialize the new groups directly into radix partitions
@@ -652,7 +849,7 @@ impl LocalSink for LocalAgg<'_> {
         self.scratch.new_ptrs.clear();
         if !self.new_sel.is_empty() {
             let mut layout_views = ProbeScratch::take_views(&mut self.scratch.layout_views);
-            layout_views.extend_from_slice(&group_views);
+            layout_views.extend_from_slice(group_views);
             for &c in &plan.payload_args {
                 layout_views.push(chunk.column(c));
             }
@@ -670,8 +867,6 @@ impl LocalSink for LocalAgg<'_> {
                     .set_entry(slot, make_entry(h, self.scratch.new_ptrs[ord]), false);
             }
         }
-        ProbeScratch::put_views(&mut self.scratch.group_views, group_views);
-
         // Update aggregate states for every input row.
         let s = &mut self.scratch;
         match mode {
@@ -711,8 +906,6 @@ impl LocalSink for LocalAgg<'_> {
             }
         }
 
-        self.rows_in += n;
-
         // Reset when two-thirds full: clear the entry array (cheap), unpin
         // the partition pages (they become spillable).
         if self.should_reset() {
@@ -723,12 +916,179 @@ impl LocalSink for LocalAgg<'_> {
         Ok(())
     }
 
-    fn combine(self: Box<Self>) -> Result<()> {
-        let mut data = self.data;
-        data.release_pins();
-        self.sink.shared.lock().combine(data);
-        self.sink.rows_in.fetch_add(self.rows_in, Ordering::Relaxed);
-        self.sink.resets.fetch_add(self.resets, Ordering::Relaxed);
+    /// Shared-strategy chunk path: resolve each row to a group ordinal in
+    /// the run-wide [`SharedGroupIndex`] (lock-free probes; inserts batched
+    /// under the canon lock), then update this worker's *private*
+    /// accumulator row for that ordinal — no atomics in the update kernels.
+    fn sink_shared(&mut self, chunk: &DataChunk, group_views: &[&Vector], n: usize) -> Result<()> {
+        let plan = self.sink.plan;
+        let sl = self.shared_mode.as_mut().expect("shared_mode checked");
+        let sp = Arc::clone(&sl.sp);
+        let idx = &sp.index;
+
+        // `targets[i]` = resolved group ordinal (u64::MAX = unresolved).
+        self.targets.clear();
+        self.targets.resize(n, u64::MAX);
+        let s = &mut self.scratch;
+        s.slots.clear();
+        s.slots
+            .extend(self.hashes[..n].iter().map(|&h| idx.slot(h)));
+        // Lock-free probe: most rows hit an already-published group.
+        s.stage1_fail.clear(); // rows needing the insert pass
+        'rows: for i in 0..n {
+            let h = self.hashes[i];
+            loop {
+                let e = idx.entry(s.slots[i]);
+                if e == 0 {
+                    s.stage1_fail.push(i as u32);
+                    continue 'rows;
+                }
+                if salt_bits(e) == salt_bits(h) {
+                    let ord = SharedGroupIndex::entry_ordinal(e);
+                    // SAFETY: published ordinals have canonical rows on
+                    // pages kept pinned for the whole of phase 1; only the
+                    // immutable key bytes are read here.
+                    if unsafe { rows_match(&plan.layout, group_views, i, idx.row_ptr(ord)) } {
+                        self.targets[i] = ord as u64;
+                        continue 'rows;
+                    }
+                }
+                s.slots[i] = idx.next_slot(s.slots[i]);
+            }
+        }
+
+        let mut layout_views = ProbeScratch::take_views(&mut s.layout_views);
+        layout_views.extend_from_slice(group_views);
+        for &c in &plan.payload_args {
+            layout_views.push(chunk.column(c));
+        }
+
+        // Insert pass: serialize new-group claims under the canon lock.
+        // Overflow rows (index full) fall through to `no_match` and are
+        // appended as unaggregated singletons — phase 2 merges by key.
+        s.no_match.clear();
+        if !s.stage1_fail.is_empty() {
+            let mut canon = sp.canon.lock();
+            let mut one: Vec<*mut u8> = Vec::with_capacity(1);
+            'pending: for &r in &s.stage1_fail {
+                let i = r as usize;
+                let h = self.hashes[i];
+                loop {
+                    let e = idx.entry(s.slots[i]);
+                    if e == 0 {
+                        match idx.alloc_ordinal() {
+                            Some(ord) => {
+                                one.clear();
+                                canon.append(&layout_views, &self.hashes, &[r], Some(&mut one))?;
+                                idx.publish(s.slots[i], h, ord, one[0]);
+                                if sl.local_ords.len() <= ord {
+                                    sl.local_ords.resize(ord + 1, std::ptr::null_mut());
+                                }
+                                // The claiming worker aggregates straight
+                                // into the canonical row it just wrote.
+                                sl.local_ords[ord] = one[0];
+                                self.targets[i] = ord as u64;
+                            }
+                            None => s.no_match.push(r),
+                        }
+                        continue 'pending;
+                    }
+                    if salt_bits(e) == salt_bits(h) {
+                        let ord = SharedGroupIndex::entry_ordinal(e);
+                        // SAFETY: as in the lock-free pass.
+                        if unsafe { rows_match(&plan.layout, group_views, i, idx.row_ptr(ord)) } {
+                            self.targets[i] = ord as u64;
+                            continue 'pending;
+                        }
+                    }
+                    s.slots[i] = idx.next_slot(s.slots[i]);
+                }
+            }
+        }
+        if s.row_ptrs.len() < n {
+            s.row_ptrs.resize(n, std::ptr::null_mut());
+        }
+        if !s.no_match.is_empty() {
+            // Index overflow: append these rows unaggregated and let the
+            // next chunk's strategy check drop back to the local path.
+            s.new_ptrs.clear();
+            self.data.append(
+                &layout_views,
+                &self.hashes,
+                &s.no_match,
+                Some(&mut s.new_ptrs),
+            )?;
+            for (k, &r) in s.no_match.iter().enumerate() {
+                // Each singleton row is its own (already-final) target.
+                s.row_ptrs[r as usize] = s.new_ptrs[k];
+            }
+        }
+
+        // Materialize this worker's accumulator row for ordinals it meets
+        // for the first time (one batched append, claim-marked first).
+        self.new_sel.clear();
+        sl.new_ords.clear();
+        let grow = idx.count();
+        if sl.local_ords.len() < grow {
+            sl.local_ords.resize(grow, std::ptr::null_mut());
+        }
+        for i in 0..n {
+            let t = self.targets[i];
+            if t == u64::MAX {
+                continue;
+            }
+            let ord = t as usize;
+            if sl.local_ords[ord].is_null() {
+                sl.local_ords[ord] = usize::MAX as *mut u8; // claim mark
+                self.new_sel.push(i as u32);
+                sl.new_ords.push(ord);
+            }
+        }
+        if !self.new_sel.is_empty() {
+            s.new_ptrs.clear();
+            self.data.append(
+                &layout_views,
+                &self.hashes,
+                &self.new_sel,
+                Some(&mut s.new_ptrs),
+            )?;
+            for (k, &ord) in sl.new_ords.iter().enumerate() {
+                sl.local_ords[ord] = s.new_ptrs[k];
+            }
+        }
+        ProbeScratch::put_views(&mut s.layout_views, layout_views);
+
+        // Resolve per-row accumulator pointers and run the update kernels.
+        for i in 0..n {
+            let t = self.targets[i];
+            if t != u64::MAX {
+                s.row_ptrs[i] = sl.local_ords[t as usize];
+            }
+            // else: overflow singleton pointer already written above.
+        }
+        match self.sink.config.kernel_mode {
+            KernelMode::Scalar => {
+                for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                    let arg = agg.spec.arg.map(|c| chunk.column(c));
+                    let off = plan.layout.aggr_offset(sidx);
+                    for i in 0..n {
+                        // SAFETY: every pointer targets a row on a pinned
+                        // page owned by this worker's data.
+                        unsafe { update_state(agg, s.row_ptrs[i].add(off), arg, i) };
+                    }
+                }
+            }
+            KernelMode::Vectorized => {
+                for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                    let arg = agg.spec.arg.map(|c| chunk.column(c));
+                    let off = plan.layout.aggr_offset(sidx);
+                    // SAFETY: as above.
+                    unsafe { (agg.kernels.update)(&s.row_ptrs[..n], off, arg) };
+                }
+            }
+        }
+        // The shared path never resets: accumulator pages stay pinned (one
+        // row per group per worker — bounded by the index capacity).
         Ok(())
     }
 }
@@ -985,6 +1345,119 @@ fn lpt_order(sizes: &[usize]) -> Vec<usize> {
     order
 }
 
+/// Pick the next partition to merge from the ready list: the same policy as
+/// [`lpt_order`], applied incrementally as partitions become mergeable.
+/// Returns the *position* within `ready` of the largest entry (ties to the
+/// lower partition index, keeping the schedule deterministic).
+fn lpt_claim(ready: &[(usize, usize)]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (k, &(bytes, p)) in ready.iter().enumerate() {
+        best = match best {
+            None => Some(k),
+            Some(b) => {
+                let (bb, bp) = ready[b];
+                if bytes > bb || (bytes == bb && p < bp) {
+                    Some(k)
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best
+}
+
+/// Phase-1 → phase-2 handoff: instead of a hard barrier between the phases,
+/// every worker flushes its thread-local fragments partition by partition,
+/// and a partition whose *last* fragment lands becomes mergeable immediately
+/// — feeding the LPT/read-ahead merge schedule while slower workers are
+/// still probing or flushing the rest.
+///
+/// Built to survive the pool's saturation mode: [`ExecContext::run_units`]
+/// may execute worker bodies *sequentially* on one runner, so a merge loop
+/// must never block on fragments unless every worker body has provably
+/// started (`started == threads`). When that does not hold, a worker simply
+/// exits after draining what is already mergeable — the final body observes
+/// `flushers == 0` and drains every remaining partition itself.
+struct PartitionHandoff {
+    /// Merged fragments per partition (flushers append under the lock).
+    slots: Vec<Mutex<TupleDataCollection>>,
+    /// Fragments still outstanding per partition; the flush that takes a
+    /// partition's count to zero publishes it to `ready`.
+    pending: Vec<AtomicUsize>,
+    /// Mergeable partitions as `(payload bytes, partition index)`.
+    ready: Mutex<Vec<(usize, usize)>>,
+    ready_cv: Condvar,
+    /// Read-ahead marker per partition (first claimant warms it).
+    prefetched: Vec<AtomicBool>,
+    /// A worker failed (error or panic): abandon all waiting.
+    failed: AtomicBool,
+    /// Worker bodies that have begun executing (see the type docs).
+    started: AtomicUsize,
+    /// Workers still probing; the one that takes this to zero absorbs the
+    /// shared strategy's canonical rows into its own fragments.
+    probers: AtomicUsize,
+    /// Workers that have not finished flushing. Zero means `ready` is
+    /// complete; the worker that takes it there stamps the phase-1 wall
+    /// and the mid-run buffer stats.
+    flushers: AtomicUsize,
+    phase1_nanos: AtomicU64,
+    stats_mid: Mutex<Option<BufferStats>>,
+}
+
+impl PartitionHandoff {
+    fn new(
+        mgr: &Arc<BufferManager>,
+        layout: &Arc<TupleDataLayout>,
+        partitions: usize,
+        threads: usize,
+    ) -> Self {
+        PartitionHandoff {
+            slots: (0..partitions)
+                .map(|_| {
+                    Mutex::new(TupleDataCollection::new(
+                        Arc::clone(mgr),
+                        Arc::clone(layout),
+                    ))
+                })
+                .collect(),
+            pending: (0..partitions).map(|_| AtomicUsize::new(threads)).collect(),
+            ready: Mutex::new(Vec::new()),
+            ready_cv: Condvar::new(),
+            prefetched: (0..partitions).map(|_| AtomicBool::new(false)).collect(),
+            failed: AtomicBool::new(false),
+            started: AtomicUsize::new(0),
+            probers: AtomicUsize::new(threads),
+            flushers: AtomicUsize::new(threads),
+            phase1_nanos: AtomicU64::new(0),
+            stats_mid: Mutex::new(None),
+        }
+    }
+
+    /// Mark the run failed and wake every waiter (idempotent).
+    fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+        let _guard = self.ready.lock();
+        self.ready_cv.notify_all();
+    }
+}
+
+/// Arms [`PartitionHandoff::fail`] until a worker body completes cleanly —
+/// error returns *and* panics unwind through here, so waiting peers always
+/// wake instead of deadlocking on fragments that will never arrive.
+struct FailGuard<'a> {
+    handoff: &'a PartitionHandoff,
+    armed: bool,
+}
+
+impl Drop for FailGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.handoff.fail();
+        }
+    }
+}
+
 /// Run the full aggregation, streaming output chunks to `consumer` (which is
 /// called concurrently from the phase-2 tasks).
 pub fn hash_aggregate_streaming(
@@ -1049,10 +1522,25 @@ pub fn hash_aggregate_streaming_ctx(
         config,
         ctx,
         radix_bits,
-        shared: Mutex::new(PartitionedTupleData::new(mgr, &bound.layout, radix_bits)),
         rows_in: AtomicUsize::new(0),
         resets: AtomicU64::new(0),
+        decision: AtomicU8::new(DECIDE_PENDING),
+        shared_p1: Mutex::new(None),
     };
+    // Resolve a forced strategy up front; `Adaptive` stays pending until the
+    // first worker sample arrives. The shared strategy needs concurrency to
+    // pay off (and single-thread runs promise scalar/vectorized
+    // bit-identity), so it only ever engages at `threads > 1`.
+    let threads_n = config.threads.max(1);
+    match config.phase1_strategy {
+        Phase1Strategy::ThreadLocal => sink.settle_local(),
+        Phase1Strategy::Shared if threads_n > 1 => {
+            sink.install_shared(config.ht_capacity.max(STRATEGY_SAMPLE_ROWS))?;
+        }
+        Phase1Strategy::Shared => sink.settle_local(),
+        Phase1Strategy::Adaptive if threads_n <= 1 => sink.settle_local(),
+        Phase1Strategy::Adaptive => {}
+    }
 
     let partitions = 1usize << radix_bits;
     let groups_out = AtomicUsize::new(0);
@@ -1065,66 +1553,182 @@ pub fn hash_aggregate_streaming_ctx(
     // be back at baseline before the final stats delta is taken.
     let run: Result<(Duration, Duration, usize, u64)> = (|| {
         collector.set_phase(Phase::Probe);
-        let t0 = Instant::now();
-        Pipeline::run_ctx(source, &sink, config.threads, ctx)?;
-        let phase1 = t0.elapsed();
-        collector.set_phase_wall(Phase::Probe, phase1);
-        stats_mid = Some(mgr.stats());
-
-        ctx.check_cancelled()?;
-        // The partition handoff: thread-local partitions were combined into
-        // the shared set during sink-combine; what is left here is taking
-        // ownership for phase 2. Spill traffic happens *throughout* phase 1
-        // (the buffer manager evicts unpinned partition pages whenever
-        // memory runs short), so the spill/partition row of the profile
-        // carries the spill byte counts rather than a meaningful wall time
-        // of its own.
-        collector.set_phase(Phase::Partition);
-        let t_part = Instant::now();
-        let rows_in = sink.rows_in.load(Ordering::Relaxed);
-        let resets = sink.resets.load(Ordering::Relaxed);
-        let shared = Mutex::new(sink.shared.into_inner());
         collector.add_partitions(partitions as u64);
-        // Largest partitions first (see `lpt_order`). Sizes are exact: every
-        // page a partition owns is counted whether resident or spilled.
-        let order = {
-            let guard = shared.lock();
-            lpt_order(
-                &guard
-                    .partitions()
-                    .iter()
-                    .map(|p| p.data_bytes())
-                    .collect::<Vec<_>>(),
-            )
-        };
-        collector.set_phase_wall(Phase::Partition, t_part.elapsed());
-
-        collector.set_phase(Phase::Merge);
-        let t1 = Instant::now();
-        // Read-ahead frontier: `parallel_for_ctx` hands out task indices in
-        // increasing order, so when task `t` starts, tasks `t+1..` are the
-        // future. Each task pushes the prefetch high-water mark to
-        // `t + 1 + depth` and submits background reads for the partitions
-        // between the old mark and the new one — by the time a worker claims
-        // one of those, its spilled pages are (ideally) already resident.
-        let next_prefetch = AtomicUsize::new(0);
+        let handoff = PartitionHandoff::new(mgr, &bound.layout, partitions, threads_n);
         let depth = config.readahead_depth;
-        parallel_for_ctx(partitions, config.threads, ctx, &|t| {
-            if depth > 0 {
-                let end = (t + 1 + depth).min(partitions);
-                let start = next_prefetch.fetch_max(end, Ordering::Relaxed).max(t + 1);
-                if start < end {
-                    let guard = shared.lock();
-                    for &pi in &order[start..end] {
-                        guard.partitions()[pi].prefetch_all();
-                    }
+        let t0 = Instant::now();
+        // The unified worker body: probe morsels into thread-local (or
+        // shared) state, flush fragments through the per-partition handoff,
+        // then merge whatever partitions are (or become) ready. There is no
+        // barrier: the first complete partition is merged while other
+        // workers still probe.
+        let worker = || -> Result<()> {
+            let wid = collector.begin_worker();
+            let mut guard = FailGuard {
+                handoff: &handoff,
+                armed: true,
+            };
+            handoff.started.fetch_add(1, Ordering::AcqRel);
+            let t_worker = Instant::now();
+            let mut local = sink.local()?;
+            let mut reader = source.reader();
+            let mut chunks = 0u64;
+            let probe_res: Result<()> = (|| {
+                while let Some(chunk) = reader.next()? {
+                    ctx.check_cancelled()?;
+                    local.sink(chunk)?;
+                    chunks += 1;
+                }
+                Ok(())
+            })();
+            let morsels = reader.morsels_claimed();
+            drop(reader);
+            sink.rows_in.fetch_add(local.rows_in, Ordering::Relaxed);
+            sink.resets.fetch_add(local.resets, Ordering::Relaxed);
+            collector.record_worker_resets(wid, local.resets);
+            probe_res?;
+            // The last worker out of the probe absorbs the shared
+            // strategy's canonical rows (nobody key-compares against them
+            // once probing is over), so they flush like any other
+            // fragments and phase 2 merges per-worker duplicates by key.
+            if handoff.probers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let sp = sink.shared_p1.lock().as_ref().map(Arc::clone);
+                if let Some(sp) = sp {
+                    let mut canon_guard = sp.canon.lock();
+                    let mut canon = std::mem::replace(
+                        &mut *canon_guard,
+                        PartitionedTupleData::new(mgr, &bound.layout, radix_bits),
+                    );
+                    drop(canon_guard);
+                    canon.release_pins();
+                    local.data.release_pins();
+                    local.data.combine(canon);
+                }
+                // Probe pins are gone everywhere: wake merge waiters.
+                let _g = handoff.ready.lock();
+                handoff.ready_cv.notify_all();
+            }
+            local.data.release_pins();
+            // Flush fragments partition by partition, staggered by worker
+            // id so concurrent flushes mostly touch different slot locks.
+            // The flush that completes a partition publishes it.
+            for k in 0..partitions {
+                let p = (k + wid) % partitions;
+                let frag = local.data.take_partition(p);
+                handoff.slots[p].lock().merge_from(frag);
+                if handoff.pending[p].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let bytes = handoff.slots[p].lock().data_bytes();
+                    let mut ready = handoff.ready.lock();
+                    ready.push((bytes, p));
+                    handoff.ready_cv.notify_one();
                 }
             }
-            let part = shared.lock().take_partition(order[t]);
-            finalize_partition(&bound, mgr, config, ctx, part, consumer, &groups_out)
-        })?;
-        let phase2 = t1.elapsed();
+            drop(local); // frees the probe table before merging starts
+            let probe_busy = t_worker.elapsed();
+            collector.add_busy_to(Phase::Probe, probe_busy);
+            collector.add_units_to(Phase::Probe, chunks);
+            collector.record_worker(wid, probe_busy, morsels, chunks);
+            if handoff.flushers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Every fragment is flushed: phase 1 is over. Stamp its
+                // wall and the buffer stats snapshot that attributes
+                // background I/O overlap to the right phase.
+                handoff
+                    .phase1_nanos
+                    .store(t0.elapsed().as_nanos() as u64, Ordering::Release);
+                *handoff.stats_mid.lock() = Some(mgr.stats());
+                let _g = handoff.ready.lock();
+                handoff.ready_cv.notify_all();
+            }
+            // Merge loop: claim ready partitions (largest first) until the
+            // run drains — or until waiting would be unsound because not
+            // every worker body has started (saturated pool runs bodies
+            // sequentially; the final body drains the leftovers). Claims
+            // hold off while any worker is still *probing*: probe pages are
+            // pinned, and pinning phase-2 partitions on top of them would
+            // raise the peak pinned footprint past what admission promised.
+            // Flushed fragments are unpinned, so merging overlaps the
+            // remaining flush work freely.
+            let mut merge_busy = Duration::ZERO;
+            loop {
+                let claim = loop {
+                    if handoff.failed.load(Ordering::Acquire) {
+                        return Err(Error::Cancelled);
+                    }
+                    // Loaded *before* the ready lock: observing zero means
+                    // every flush (and its ready-publish) happens-before
+                    // this lock acquisition, so an empty list is final.
+                    let flushers_left = handoff.flushers.load(Ordering::Acquire);
+                    let probing = handoff.probers.load(Ordering::Acquire) > 0;
+                    let all_started = handoff.started.load(Ordering::Acquire) >= threads_n;
+                    let mut ready = handoff.ready.lock();
+                    if !probing {
+                        if let Some(k) = lpt_claim(&ready) {
+                            break Some(ready.swap_remove(k));
+                        }
+                    }
+                    if flushers_left == 0 || !all_started {
+                        break None;
+                    }
+                    let _timeout = handoff
+                        .ready_cv
+                        .wait_for(&mut ready, Duration::from_millis(5));
+                };
+                let Some((_, p)) = claim else { break };
+                let t_merge = Instant::now();
+                // Read-ahead: warm the largest still-queued partitions so
+                // their spilled pages are resident by the time a worker
+                // claims them.
+                if depth > 0 {
+                    let snapshot: Vec<(usize, usize)> = handoff.ready.lock().clone();
+                    let sizes: Vec<usize> = snapshot.iter().map(|&(b, _)| b).collect();
+                    let mut warmed = 0usize;
+                    for pos in lpt_order(&sizes) {
+                        if warmed >= depth {
+                            break;
+                        }
+                        let pi = snapshot[pos].1;
+                        if !handoff.prefetched[pi].swap(true, Ordering::Relaxed) {
+                            handoff.slots[pi].lock().prefetch_all();
+                            warmed += 1;
+                        }
+                    }
+                }
+                let part = {
+                    let mut slot = handoff.slots[p].lock();
+                    std::mem::replace(
+                        &mut *slot,
+                        TupleDataCollection::new(Arc::clone(mgr), Arc::clone(&bound.layout)),
+                    )
+                };
+                collector.add_units_to(Phase::Merge, 1);
+                finalize_partition(&bound, mgr, config, ctx, part, consumer, &groups_out)?;
+                merge_busy += t_merge.elapsed();
+            }
+            collector.add_busy_to(Phase::Merge, merge_busy);
+            guard.armed = false;
+            Ok(())
+        };
+        if threads_n == 1 {
+            worker()?;
+        } else {
+            ctx.run_units(threads_n, &worker)?;
+        }
+        // Phase walls under overlap: phase 1 ends when the last fragment
+        // flushes; everything after is merge. The old partition step is a
+        // per-partition handoff now — it has no wall of its own.
+        stats_mid = handoff.stats_mid.lock().take();
+        let phase1 = Duration::from_nanos(handoff.phase1_nanos.load(Ordering::Acquire));
+        let phase2 = t0.elapsed().saturating_sub(phase1);
+        collector.set_phase_wall(Phase::Probe, phase1);
+        collector.set_phase_wall(Phase::Partition, Duration::ZERO);
         collector.set_phase_wall(Phase::Merge, phase2);
+        // An input too small to sample (or empty) never decides: it ran
+        // thread-local throughout, so record that.
+        if sink.decision.load(Ordering::Acquire) == DECIDE_PENDING {
+            sink.settle_local();
+        }
+        let rows_in = sink.rows_in.load(Ordering::Relaxed);
+        let resets = sink.resets.load(Ordering::Relaxed);
         Ok((phase1, phase2, rows_in, resets))
     })();
 
@@ -2124,5 +2728,119 @@ mod tests {
         let scalar = run(KernelMode::Scalar);
         let vectorized = run(KernelMode::Vectorized);
         assert_rows_bits_equal(&vectorized, &scalar);
+    }
+
+    #[test]
+    fn adaptive_picks_shared_on_low_cardinality() {
+        // 256 groups over 150k rows: dense, cache-resident — the sampling
+        // worker sees every condition for the shared table.
+        let coll = make_input(150_000, 256, 11);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::sum(1), AggregateSpec::count_star()],
+        };
+        let config = AggregateConfig {
+            threads: 4,
+            radix_bits: Some(3),
+            ..Default::default()
+        };
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let stats = check_against_reference(&coll, &plan, &config, &mgr);
+        assert_eq!(stats.profile.strategy, "shared");
+    }
+
+    #[test]
+    fn adaptive_stays_thread_local_on_high_cardinality() {
+        // ~50k groups: the sample is sparse (density check fails), so the
+        // run must stay on the paper's thread-local path.
+        let coll = make_input(60_000, 50_000, 7);
+        let mgr = mgr_with(256 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::sum(1), AggregateSpec::count_star()],
+        };
+        let stats = check_against_reference(&coll, &plan, &small_config(4), &mgr);
+        assert_eq!(stats.profile.strategy, "thread_local");
+    }
+
+    #[test]
+    fn forced_shared_matches_reference_for_string_and_multi_column_keys() {
+        // The shared index key-compares canonical rows lock-free; strings
+        // (heap payloads) and multi-column keys are the risky shapes.
+        let coll = make_input(50_000, 300, 3);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        for threads in [2, 4] {
+            for group_cols in [vec![2], vec![0, 2]] {
+                let plan = HashAggregatePlan {
+                    group_cols,
+                    aggregates: vec![
+                        AggregateSpec::sum(1),
+                        AggregateSpec::count_star(),
+                        AggregateSpec::min(1),
+                    ],
+                };
+                let config = AggregateConfig {
+                    threads,
+                    radix_bits: Some(3),
+                    phase1_strategy: Phase1Strategy::Shared,
+                    ..Default::default()
+                };
+                let stats = check_against_reference(&coll, &plan, &config, &mgr);
+                assert_eq!(stats.profile.strategy, "shared");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_shared_overflow_falls_back_and_stays_correct() {
+        // max_groups = ht_capacity = 8192 but the input has ~20k groups:
+        // the index overflows mid-run, overflow rows append as singletons,
+        // workers drop back to thread-local, and phase 2 merges it all.
+        let coll = make_input(60_000, 20_000, 5);
+        let mgr = mgr_with(256 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::sum(1), AggregateSpec::count_star()],
+        };
+        let config = AggregateConfig {
+            phase1_strategy: Phase1Strategy::Shared,
+            ..small_config(4)
+        };
+        let stats = check_against_reference(&coll, &plan, &config, &mgr);
+        assert_eq!(stats.profile.strategy, "shared");
+    }
+
+    #[test]
+    fn forced_shared_single_thread_runs_thread_local() {
+        // The shared strategy needs concurrency to pay off and would break
+        // the single-thread scalar/vectorized bit-identity contract, so a
+        // forced `Shared` at threads=1 degrades to thread-local.
+        let coll = make_input(20_000, 100, 9);
+        let mgr = mgr_with(64 << 20, 64 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::sum(1), AggregateSpec::count_star()],
+        };
+        let config = AggregateConfig {
+            phase1_strategy: Phase1Strategy::Shared,
+            ..small_config(1)
+        };
+        let stats = check_against_reference(&coll, &plan, &config, &mgr);
+        assert_eq!(stats.profile.strategy, "thread_local");
+    }
+
+    #[test]
+    fn adaptive_shared_handles_spilling_config() {
+        // Adaptive under a tight limit with tiny pages: whichever strategy
+        // wins, spills and the per-partition handoff must stay correct.
+        let coll = make_input(80_000, 512, 21);
+        let mgr = mgr_with(1 << 20, 4 << 10);
+        let plan = HashAggregatePlan {
+            group_cols: vec![0],
+            aggregates: vec![AggregateSpec::sum(1), AggregateSpec::count_star()],
+        };
+        let config = small_config(4);
+        let stats = check_against_reference(&coll, &plan, &config, &mgr);
+        assert!(!stats.profile.strategy.is_empty());
     }
 }

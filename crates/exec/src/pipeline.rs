@@ -42,6 +42,13 @@ pub trait ChunkReader: Send {
     /// deep-copies vectors (readers that materialize chunks park the
     /// current one internally and lend it out).
     fn next(&mut self) -> Result<Option<&DataChunk>>;
+
+    /// Morsels this reader has claimed from the shared cursor so far. Used
+    /// for per-worker profile attribution; readers without morsel-granular
+    /// claiming report 0.
+    fn morsels_claimed(&self) -> u64 {
+        0
+    }
 }
 
 /// The shared side of a pipeline-breaking operator.
@@ -125,6 +132,8 @@ struct CollectionReader<'a> {
     pos: usize,
     /// One past the last chunk of the current morsel.
     end: usize,
+    /// Morsels this reader claimed (per-worker attribution).
+    morsels: u64,
 }
 
 impl ChunkReader for CollectionReader<'_> {
@@ -144,10 +153,15 @@ impl ChunkReader for CollectionReader<'_> {
             }
             self.pos = start;
             self.end = (start + MORSEL_CHUNKS).min(n);
+            self.morsels += 1;
         }
         let chunk = &self.source.collection.chunks()[self.pos];
         self.pos += 1;
         Ok(Some(chunk))
+    }
+
+    fn morsels_claimed(&self) -> u64 {
+        self.morsels
     }
 }
 
@@ -157,6 +171,7 @@ impl ChunkSource for CollectionSource<'_> {
             source: self,
             pos: 0,
             end: 0,
+            morsels: 0,
         })
     }
 
@@ -197,6 +212,7 @@ impl Pipeline {
             // streaming loop itself carries no profiling cost.
             let started = std::time::Instant::now();
             let mut chunks = 0u64;
+            let mut morsels = 0u64;
             let result = (|| {
                 let mut reader = source.reader();
                 let mut local = sink.local()?;
@@ -205,11 +221,13 @@ impl Pipeline {
                     local.sink(chunk)?;
                     chunks += 1;
                 }
+                morsels = reader.morsels_claimed();
                 local.combine()
             })();
             if let Some(p) = ctx.profile() {
                 p.add_busy(started.elapsed());
                 p.add_units(chunks);
+                p.record_worker(p.begin_worker(), started.elapsed(), morsels, chunks);
             }
             result
         };
@@ -522,6 +540,70 @@ mod tests {
         assert_eq!(p.phases[Phase::Probe.index()].units, 150);
         assert_eq!(p.phases[Phase::Merge.index()].units, 31);
         assert!(p.phases[Phase::Probe.index()].busy > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn per_worker_attribution_covers_all_morsels_and_chunks() {
+        use rexa_obs::{Phase, ProfileCollector};
+        let coll = make_collection(150, 100); // 150 chunks = 3 morsels
+        let profile = Arc::new(ProfileCollector::new());
+        let ctx = ExecContext::new().with_profile(Arc::clone(&profile));
+        profile.set_phase(Phase::Probe);
+        let sink = SumSink {
+            total: AtomicI64::new(0),
+            combines: AtomicUsize::new(0),
+        };
+        let source = CollectionSource::new(&coll);
+        Pipeline::run_ctx(&source, &sink, 4, &ctx).unwrap();
+        let p = profile.finish("x", std::time::Duration::ZERO);
+        assert_eq!(p.workers.len(), 4, "one record per worker: {:?}", p.workers);
+        assert_eq!(p.workers.iter().map(|w| w.chunks).sum::<u64>(), 150);
+        assert_eq!(
+            p.workers.iter().map(|w| w.morsels).sum::<u64>(),
+            3,
+            "every morsel claimed exactly once: {:?}",
+            p.workers
+        );
+        // Ids are dense and sorted.
+        for (i, w) in p.workers.iter().enumerate() {
+            assert_eq!(w.worker, i);
+        }
+    }
+
+    #[test]
+    fn parallel_for_panic_surfaces_internal_error_without_hanging() {
+        // A panicking task at threads > 1 must not strand the other claim
+        // loops at the completion barrier: the panic is caught, converted
+        // to Error::Internal, and the call returns.
+        let err = parallel_for(8, 4, &|t| {
+            if t == 3 {
+                panic!("injected worker panic");
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Internal(_)), "got {err}");
+
+        // Same through a pooled context: the pool worker catches the panic,
+        // completes the unit, and the pool survives for the next job.
+        use crate::pool::WorkerPool;
+        let pool = Arc::new(WorkerPool::new(4));
+        let ctx = ExecContext::with_pool(Arc::clone(&pool));
+        let err = parallel_for_ctx(8, 4, &ctx, &|t| {
+            if t == 0 {
+                panic!("injected worker panic");
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Internal(_)), "got {err}");
+        let done: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_ctx(8, 4, &ctx, &|t| {
+            done[t].fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! and [`QueryProfile`] is the immutable result, rendered as an
 //! `EXPLAIN ANALYZE`-style tree by [`QueryProfile::render`].
 
+use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -74,6 +75,23 @@ pub struct PhaseProfile {
     pub overlap: Duration,
 }
 
+/// Per-worker phase-1 attribution: how much of the probe each worker
+/// actually executed. Skew here (one worker with all the morsels, the rest
+/// idle) is the first thing to look at when a thread sweep stops scaling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerProfile {
+    /// Worker index within the query (0-based, dense).
+    pub worker: usize,
+    /// Busy wall time this worker spent executing probe work.
+    pub busy: Duration,
+    /// Morsels this worker claimed from the shared source cursor.
+    pub morsels: u64,
+    /// Input chunks this worker processed.
+    pub chunks: u64,
+    /// Thread-local hash-table resets this worker performed.
+    pub ht_resets: u64,
+}
+
 /// Immutable per-query execution profile. All counters are totals for the
 /// query; see [`ProfileCollector`] for how they are gathered.
 #[derive(Clone, Debug, Default)]
@@ -81,6 +99,12 @@ pub struct QueryProfile {
     /// Operator headline, e.g. `HASH_AGGREGATE (vectorized)`.
     pub operator: String,
     pub threads: usize,
+    /// Phase-1 strategy the operator ran with (e.g. `thread_local`,
+    /// `shared`, `adaptive:shared`). Empty for operators without one.
+    pub strategy: String,
+    /// Per-worker phase-1 attribution, sorted by worker index. Empty when
+    /// the operator did not record it.
+    pub workers: Vec<WorkerProfile>,
     /// End-to-end operator wall time.
     pub wall: Duration,
     /// Indexed by [`Phase::index`].
@@ -140,13 +164,11 @@ impl QueryProfile {
     /// ```
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{}  threads={}  wall {}",
-            self.operator,
-            self.threads,
-            fmt_secs(self.wall)
-        );
+        let _ = write!(out, "{}  threads={}", self.operator, self.threads);
+        if !self.strategy.is_empty() {
+            let _ = write!(out, "  strategy={}", self.strategy);
+        }
+        let _ = writeln!(out, "  wall {}", fmt_secs(self.wall));
         for phase in Phase::ALL {
             let p = &self.phases[phase.index()];
             let _ = write!(out, "├─ {:<17}", phase.label());
@@ -180,6 +202,19 @@ impl QueryProfile {
                 }
             }
             out.push('\n');
+            if phase == Phase::Probe {
+                for w in &self.workers {
+                    let _ = writeln!(
+                        out,
+                        "│    worker {}  busy {}  morsels {}  chunks {}  ht_resets {}",
+                        w.worker,
+                        fmt_secs(w.busy),
+                        w.morsels,
+                        w.chunks,
+                        w.ht_resets,
+                    );
+                }
+            }
         }
         let _ = writeln!(
             out,
@@ -224,11 +259,57 @@ pub struct ProfileCollector {
     evictions: AtomicU64,
     readahead_hits: AtomicU64,
     readahead_misses: AtomicU64,
+    strategy: Mutex<String>,
+    /// Dense worker-id allocator; ids are per-query, assigned at first use.
+    next_worker: AtomicUsize,
+    /// Per-worker records, merged by worker id (a worker may flush busy
+    /// time from the pipeline and resets from the operator separately).
+    workers: Mutex<Vec<WorkerProfile>>,
 }
 
 impl ProfileCollector {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Worker: claim a dense per-query worker id for attribution.
+    pub fn begin_worker(&self) -> usize {
+        self.next_worker.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Worker: merge phase-1 attribution into the record for `worker`.
+    /// Called at most a few times per worker (end of probe, end of flush),
+    /// never per morsel.
+    pub fn record_worker(&self, worker: usize, busy: Duration, morsels: u64, chunks: u64) {
+        let mut ws = self.workers.lock();
+        let w = Self::worker_slot(&mut ws, worker);
+        w.busy += busy;
+        w.morsels += morsels;
+        w.chunks += chunks;
+    }
+
+    /// Worker: credit thread-local hash-table resets to `worker`.
+    pub fn record_worker_resets(&self, worker: usize, resets: u64) {
+        let mut ws = self.workers.lock();
+        Self::worker_slot(&mut ws, worker).ht_resets += resets;
+    }
+
+    fn worker_slot(ws: &mut Vec<WorkerProfile>, worker: usize) -> &mut WorkerProfile {
+        match ws.iter().position(|w| w.worker == worker) {
+            Some(i) => &mut ws[i],
+            None => {
+                ws.push(WorkerProfile {
+                    worker,
+                    ..Default::default()
+                });
+                ws.last_mut().expect("just pushed")
+            }
+        }
+    }
+
+    /// Coordinator: record the phase-1 strategy the operator settled on.
+    pub fn set_strategy(&self, strategy: &str) {
+        *self.strategy.lock() = strategy.to_string();
     }
 
     /// Coordinator: declare the phase subsequent worker busy time belongs
@@ -258,6 +339,13 @@ impl ProfileCollector {
     pub fn add_units(&self, n: u64) {
         self.phase_units[self.current_phase.load(Ordering::Relaxed) as usize]
             .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Worker: count work units in an explicit phase — used when phases
+    /// overlap across workers and the coordinator-set current phase would
+    /// misattribute.
+    pub fn add_units_to(&self, phase: Phase, n: u64) {
+        self.phase_units[phase.index()].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Coordinator: record a phase's end-to-end wall time.
@@ -325,9 +413,13 @@ impl ProfileCollector {
             p.overlap = Duration::from_nanos(self.phase_overlap_nanos[i].load(Ordering::Relaxed));
             p.units = self.phase_units[i].load(Ordering::Relaxed);
         }
+        let mut workers = self.workers.lock().clone();
+        workers.sort_by_key(|w| w.worker);
         QueryProfile {
             operator: operator.into(),
             threads: self.threads.load(Ordering::Relaxed),
+            strategy: self.strategy.lock().clone(),
+            workers,
             wall,
             phases,
             rows_in: self.rows_in.load(Ordering::Relaxed),
@@ -448,6 +540,37 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
+    }
+
+    #[test]
+    fn worker_attribution_merges_by_id_and_sorts() {
+        let c = ProfileCollector::new();
+        let w0 = c.begin_worker();
+        let w1 = c.begin_worker();
+        assert_eq!((w0, w1), (0, 1));
+        // Records for one worker arrive in pieces (pipeline flushes busy
+        // time, the operator flushes resets) and out of order.
+        c.record_worker(w1, Duration::from_millis(5), 2, 30);
+        c.record_worker(w0, Duration::from_millis(10), 3, 40);
+        c.record_worker_resets(w0, 4);
+        c.record_worker(w0, Duration::from_millis(1), 1, 2);
+        c.set_strategy("adaptive:shared");
+        let p = c.finish("x", Duration::ZERO);
+        assert_eq!(p.strategy, "adaptive:shared");
+        assert_eq!(p.workers.len(), 2);
+        assert_eq!(p.workers[0].worker, 0);
+        assert_eq!(p.workers[0].busy, Duration::from_millis(11));
+        assert_eq!(p.workers[0].morsels, 4);
+        assert_eq!(p.workers[0].chunks, 42);
+        assert_eq!(p.workers[0].ht_resets, 4);
+        assert_eq!(p.workers[1].worker, 1);
+        assert_eq!(p.workers[1].ht_resets, 0);
+        let report = p.render();
+        assert!(report.contains("strategy=adaptive:shared"), "{report}");
+        assert!(
+            report.contains("worker 0  busy 0.011s  morsels 4  chunks 42  ht_resets 4"),
+            "{report}"
+        );
     }
 
     #[test]

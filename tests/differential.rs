@@ -11,6 +11,7 @@ use rexa_core::baselines::sort_aggregate;
 use rexa_core::simple::{reference_aggregate, sorted_rows};
 use rexa_core::{
     hash_aggregate_collect, AggregateConfig, AggregateSpec, HashAggregatePlan, KernelMode,
+    Phase1Strategy,
 };
 use rexa_exec::pipeline::{CancelToken, CollectionSource};
 use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Value, VECTOR_SIZE};
@@ -309,6 +310,95 @@ proptest! {
     }
 }
 
+/// Number of proptest cases for the (more expensive) multi-thread sweep:
+/// every case runs at three thread counts times two forced strategies, so
+/// CI trims it via `PROPTEST_CASES` while local runs get a fuller sweep.
+fn sweep_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(sweep_cases()))]
+
+    /// Many-core correctness: every generated workload also runs at
+    /// threads ∈ {2, 4, 8} — under its (possibly spilling) memory limit and
+    /// with *both* phase-1 strategies forced on — and must reproduce the
+    /// single-thread oracle: exact equality for integer/string aggregates,
+    /// `total_cmp`-sorted order with float tolerance for the rest.
+    #[test]
+    fn multi_thread_matches_single_thread_oracle(case in case_strategy()) {
+        let coll = build_collection(&case);
+        let aggregates = aggregates_for(&case);
+        let plan = HashAggregatePlan {
+            group_cols: case.group_cols.clone(),
+            aggregates: aggregates.clone(),
+        };
+        let base = AggregateConfig {
+            threads: 1,
+            radix_bits: Some(case.radix_bits),
+            ht_capacity: 4 * VECTOR_SIZE,
+            output_chunk_size: 777,
+            reset_fill_percent: 66,
+            ..Default::default()
+        };
+        // The oracle runs single-threaded with a generous limit so it
+        // always succeeds; the multi-thread runs face the case's limit.
+        let oracle_mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(64 << 20)
+                .page_size(4 << 10)
+                .temp_dir(scratch_dir("mt-oracle").unwrap()),
+        )
+        .unwrap();
+        let source = CollectionSource::new(&coll);
+        let (out, oracle_stats) =
+            hash_aggregate_collect(&oracle_mgr, &source, coll.types(), &plan, &base).unwrap();
+        let oracle = sorted_rows(out.chunks());
+
+        for threads in [2usize, 4, 8] {
+            for strategy in [Phase1Strategy::ThreadLocal, Phase1Strategy::Shared] {
+                let mgr = BufferManager::new(
+                    BufferManagerConfig::with_limit(case.limit_kib << 10)
+                        .page_size(4 << 10)
+                        .temp_dir(scratch_dir("mt-sweep").unwrap()),
+                )
+                .unwrap();
+                let config = AggregateConfig {
+                    threads,
+                    phase1_strategy: strategy,
+                    ..base.clone()
+                };
+                let source = CollectionSource::new(&coll);
+                let result = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config);
+                match result {
+                    Ok((out, stats)) => {
+                        let got = sorted_rows(out.chunks());
+                        prop_assert!(
+                            rows_approx_eq(&got, &oracle),
+                            "threads={threads} strategy={strategy:?}: got {} want {}",
+                            got.len(),
+                            oracle.len()
+                        );
+                        prop_assert_eq!(stats.groups, oracle_stats.groups);
+                    }
+                    // A tight limit may legally reject the run (the forced
+                    // shared index or pinned working set cannot fit) — but
+                    // never with residue.
+                    Err(e) if e.is_oom() => {}
+                    Err(e) => prop_assert!(
+                        false,
+                        "threads={threads} strategy={strategy:?}: unexpected error: {e}"
+                    ),
+                }
+                prop_assert_eq!(mgr.stats().temporary_resident, 0);
+                prop_assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
+            }
+        }
+    }
+}
+
 /// Non-proptest determinism check kept here because it shares the helpers.
 #[test]
 fn operator_is_deterministic_under_odd_geometry() {
@@ -356,4 +446,72 @@ fn operator_is_deterministic_under_odd_geometry() {
     assert_eq!(a, b);
     assert_eq!(a.len(), 321);
     let _ = Arc::new(()); // silence unused-import lints in some cfgs
+}
+
+/// Same input + same thread count, run twice, must produce identical
+/// finalized results (integer aggregates: exact, so scheduling-dependent
+/// merge orders cannot hide behind float tolerance) and identical group
+/// counts — at every thread count, with the per-partition handoff deciding
+/// merge order dynamically, and under both forced phase-1 strategies.
+#[test]
+fn same_seed_same_threads_is_deterministic_at_every_thread_count() {
+    let case = Case {
+        types: vec![LogicalType::Int64, LogicalType::Int64, LogicalType::Varchar],
+        rows: (0..6000)
+            .map(|i| {
+                vec![
+                    Value::Int64(i * 37 % 400),
+                    Value::Int64(i),
+                    Value::Varchar(format!("payload string {}", i % 113)),
+                ]
+            })
+            .collect(),
+        group_cols: vec![0],
+        threads: 0, // per-iteration below
+        radix_bits: 4,
+        limit_kib: 768,
+    };
+    let coll = build_collection(&case);
+    let plan = HashAggregatePlan {
+        group_cols: vec![0],
+        aggregates: vec![
+            AggregateSpec::sum(1),
+            AggregateSpec::count_star(),
+            AggregateSpec::min(1),
+            AggregateSpec::max(1),
+        ],
+    };
+    for strategy in [Phase1Strategy::ThreadLocal, Phase1Strategy::Shared] {
+        for threads in [1usize, 2, 4, 8] {
+            let run = || {
+                let mgr = BufferManager::new(
+                    BufferManagerConfig::with_limit(case.limit_kib << 10)
+                        .page_size(4 << 10)
+                        .temp_dir(scratch_dir("det-threads").unwrap()),
+                )
+                .unwrap();
+                let config = AggregateConfig {
+                    threads,
+                    radix_bits: Some(case.radix_bits),
+                    ht_capacity: 4 * VECTOR_SIZE,
+                    output_chunk_size: 901,
+                    reset_fill_percent: 66,
+                    phase1_strategy: strategy,
+                    ..Default::default()
+                };
+                let source = CollectionSource::new(&coll);
+                let (out, stats) =
+                    hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+                (sorted_rows(out.chunks()), stats.groups)
+            };
+            let (rows_a, groups_a) = run();
+            let (rows_b, groups_b) = run();
+            assert_eq!(
+                rows_a, rows_b,
+                "nondeterministic results at threads={threads} strategy={strategy:?}"
+            );
+            assert_eq!(groups_a, groups_b);
+            assert_eq!(groups_a, 400);
+        }
+    }
 }
