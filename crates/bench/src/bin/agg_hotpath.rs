@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! agg_hotpath [--rows N] [--reps N] [--threads N] [--threads-sweep 1,2,4,8]
-//!             [--out PATH] [--sql]
+//!             [--out PATH] [--sql] [--trace-out PATH]
 //! ```
 //!
 //! `--sql` additionally routes every workload through the SQL front end
@@ -27,6 +27,11 @@
 //! per-thread measurements, including per-worker attribution (busy secs,
 //! morsels claimed, ht_resets), land under a `threads_sweep` key in the
 //! JSON.
+//!
+//! `--trace-out PATH` runs the external workload once more with span
+//! tracing attached (separate from the measurements, so tracing cost
+//! never touches the numbers) and writes the timeline as Chrome
+//! trace-event JSON for Perfetto.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,6 +59,12 @@ struct Args {
     threads_sweep: Option<Vec<usize>>,
     out: String,
     sql: bool,
+    /// `--trace-out PATH`: after the measurements, run the external
+    /// workload once more with span tracing attached and write the
+    /// timeline as Chrome trace-event JSON (Perfetto-loadable). The traced
+    /// run is separate from the measurements so tracing cost never touches
+    /// the recorded numbers.
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +75,7 @@ fn parse_args() -> Args {
         threads_sweep: None,
         out: "BENCH_agg.json".to_string(),
         sql: false,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -89,10 +101,11 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = value(&mut i),
             "--sql" => args.sql = true,
+            "--trace-out" => args.trace_out = Some(value(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "options: --rows N --reps N --threads N \
-                     --threads-sweep T1,T2,… --out PATH --sql"
+                     --threads-sweep T1,T2,… --out PATH --sql --trace-out PATH"
                 );
                 std::process::exit(0);
             }
@@ -467,6 +480,63 @@ fn measure(
     }
 }
 
+/// `--trace-out`: one extra traced run of the external workload with the
+/// background I/O scheduler on, so the exported timeline shows spill
+/// writes and read-ahead overlapping compute. The run needs real spill
+/// traffic to be worth looking at, so it uses its own input floor
+/// (300k rows) rather than the smoke row count, and the same
+/// half-the-intermediates memory limit the async external measurement
+/// uses — small pages keep the probe's pinned write heads (threads x 64
+/// partitions x 2 pages) well under the limit.
+fn trace_external_run(ext: &Workload, threads: usize, path: &str) {
+    let owned;
+    let ext = if ext.coll.rows() < 300_000 {
+        owned = external(300_000);
+        &owned
+    } else {
+        ext
+    };
+    let limit = (ext.coll.approx_bytes() / 2).max(16 << 20);
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(limit)
+            .page_size(16 << 10)
+            .policy(EvictionPolicy::Mixed)
+            .temp_dir(scratch_dir("agghot").unwrap())
+            .io_writers(2),
+    )
+    .unwrap();
+    let config = AggregateConfig {
+        threads,
+        kernel_mode: KernelMode::Vectorized,
+        readahead_depth: 2,
+        radix_bits: Some(6),
+        // Small phase-1 tables: their live rows are pinned, and the traced
+        // run's limit is tight by construction.
+        ht_capacity: 1 << 14,
+        ..Default::default()
+    };
+    let spans = rexa_obs::SpanCollector::new();
+    let ctx = ExecContext::new().with_spans(Arc::clone(&spans));
+    let source = CollectionSource::new(&ext.coll);
+    let stats = rexa_core::hash_aggregate_streaming_ctx(
+        &mgr,
+        &source,
+        ext.coll.types(),
+        &ext.plan,
+        &config,
+        &ctx,
+        &|_chunk| Ok(()),
+    )
+    .unwrap();
+    std::fs::write(path, stats.profile.chrome_trace_json()).expect("write trace JSON");
+    println!(
+        "traced external run: {} groups, spilled {} MiB; wrote {path} \
+         (open in https://ui.perfetto.dev)",
+        stats.groups,
+        stats.profile.spill_bytes_written >> 20,
+    );
+}
+
 /// Input rows per second over a phase duration (0 when the phase was too
 /// fast to time — tiny CI smoke runs).
 fn rate(rows: usize, secs: f64) -> f64 {
@@ -808,4 +878,8 @@ fn main() {
     );
     std::fs::write(&args.out, &json).expect("write BENCH_agg.json");
     println!("wrote {}", args.out);
+
+    if let Some(path) = &args.trace_out {
+        trace_external_run(&ext, args.threads.max(2), path);
+    }
 }

@@ -93,6 +93,7 @@ fn main() {
                     pool_threads: args.threads,
                     max_concurrent: concurrent,
                     queue_bound: concurrent * 2,
+                    slow_query: None,
                 },
             );
             let request = || QueryRequest {
@@ -105,6 +106,7 @@ fn main() {
                     // succeed, every query launches immediately.
                     footprint: (!admission).then_some(0),
                     consumer: Some(Arc::new(|_| Ok(()))),
+                    spans: None,
                 },
             };
 

@@ -88,6 +88,7 @@ fn main() {
                     pool_threads: run_args.threads * connections,
                     max_concurrent: connections,
                     queue_bound: connections * run_args.reps,
+                    slow_query: None,
                 },
             );
             let request = || QueryRequest {
@@ -98,6 +99,7 @@ fn main() {
                     deadline: Some(run_args.timeout),
                     footprint: Some(floor),
                     consumer: Some(Arc::new(|_| Ok(()))),
+                    spans: None,
                 },
             };
 

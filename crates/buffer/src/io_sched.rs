@@ -28,7 +28,8 @@ use crate::handle::BlockHandle;
 use crate::manager::BufferManager;
 use parking_lot::{Condvar, Mutex};
 use rexa_exec::{spawn_named, Error};
-use rexa_obs::Gauge;
+use rexa_obs::span::{self, cat as span_cat};
+use rexa_obs::{Gauge, SpanBuffer};
 use std::collections::VecDeque;
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -115,7 +116,9 @@ impl IoScheduler {
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let mgr = mgr.clone();
-                spawn_named(format!("rexa-io-{i}"), move || worker_loop(&shared, &mgr))
+                spawn_named(format!("rexa-io-{i}"), move || {
+                    worker_loop(&shared, &mgr, i)
+                })
             })
             .collect();
         IoScheduler {
@@ -207,7 +210,12 @@ impl IoScheduler {
     }
 }
 
-fn worker_loop(shared: &SchedShared, mgr: &Weak<BufferManager>) {
+fn worker_loop(shared: &SchedShared, mgr: &Weak<BufferManager>, idx: usize) {
+    // Span-buffer cache for the query currently tracing this manager:
+    // registered once per (collector, I/O thread) and reused for every job,
+    // keyed by the collector's process-unique id. Untraced queries pay one
+    // failed `Weak` upgrade per job.
+    let mut sbuf: Option<(u64, Arc<SpanBuffer>)> = None;
     loop {
         let job = {
             let mut s = shared.state.lock();
@@ -230,10 +238,43 @@ fn worker_loop(shared: &SchedShared, mgr: &Weak<BufferManager>) {
         // handles themselves are owned elsewhere and clean up on drop.
         let err = match (mgr.upgrade(), &job) {
             (None, _) => None,
-            (Some(m), IoJob::SpillWrite(h)) => m.bg_spill(h),
-            (Some(m), IoJob::PrefetchRead(h)) => {
-                m.bg_prefetch(h);
-                None
+            (Some(m), job_ref) => {
+                let buf = m.span_collector().map(|sc| match &sbuf {
+                    Some((id, b)) if *id == sc.id() => Arc::clone(b),
+                    _ => {
+                        let b = sc.track(format!("io {idx}"));
+                        sbuf = Some((sc.id(), Arc::clone(&b)));
+                        b
+                    }
+                });
+                match job_ref {
+                    IoJob::SpillWrite(h) => {
+                        let t = buf.as_ref().map(|b| b.now_ns());
+                        let r = m.bg_spill(h);
+                        if let (Some(b), Some(t)) = (&buf, t) {
+                            b.complete_async(
+                                "spill_write",
+                                span_cat::IO,
+                                t,
+                                span::arg1("bytes", h.size() as u64),
+                            );
+                        }
+                        r
+                    }
+                    IoJob::PrefetchRead(h) => {
+                        let t = buf.as_ref().map(|b| b.now_ns());
+                        m.bg_prefetch(h);
+                        if let (Some(b), Some(t)) = (&buf, t) {
+                            b.complete_async(
+                                "readahead",
+                                span_cat::IO,
+                                t,
+                                span::arg1("bytes", h.size() as u64),
+                            );
+                        }
+                        None
+                    }
+                }
             }
         };
         // Drop the strong handle before signalling: a foreground

@@ -7,7 +7,7 @@ use crate::raw::RawBuffer;
 use crate::stats::BufferStats;
 use parking_lot::Mutex;
 use rexa_exec::{Error, Result};
-use rexa_obs::{Counter, EventTrace, MetricsRegistry, TraceEventKind};
+use rexa_obs::{Counter, EventTrace, MetricsRegistry, SpanCollector, TraceEventKind};
 use rexa_storage::{BlockId, DatabaseFile, IoBackend, StdIo, TempFileManager, DEFAULT_PAGE_SIZE};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -331,6 +331,10 @@ pub struct BufferManager {
     /// Background spill-writer / read-ahead pool; `None` keeps all I/O
     /// synchronous (the default).
     io_sched: Option<IoScheduler>,
+    /// Span sink for the query currently tracing this manager's background
+    /// I/O. Weak so a finished query's collector (and its buffers) is
+    /// released even if nobody detaches; the I/O workers upgrade per job.
+    span_sink: Mutex<Weak<SpanCollector>>,
     weak_self: Weak<BufferManager>,
 }
 
@@ -387,6 +391,7 @@ impl BufferManager {
                 spill_backoff: config.spill_backoff,
                 evict_lock: Mutex::new(()),
                 io_sched,
+                span_sink: Mutex::new(Weak::new()),
                 weak_self: weak.clone(),
             }
         }))
@@ -402,6 +407,22 @@ impl BufferManager {
     /// The attached event trace, if any.
     pub fn trace(&self) -> Option<&EventTrace> {
         self.trace.as_ref()
+    }
+
+    /// Attach a span collector for the duration of a traced query: the
+    /// background I/O workers record spill writes and read-ahead loads as
+    /// async spans into it. Only a [`Weak`] is kept — when the query's
+    /// collector is dropped the sink expires on its own, so there is no
+    /// mandatory detach step (and an untraced query pays one `Weak`
+    /// upgrade-failure per background job at most).
+    pub fn attach_spans(&self, spans: &Arc<SpanCollector>) {
+        *self.span_sink.lock() = Arc::downgrade(spans);
+    }
+
+    /// The span collector of the query currently tracing this manager's
+    /// background I/O, if one is attached and still alive.
+    pub fn span_collector(&self) -> Option<Arc<SpanCollector>> {
+        self.span_sink.lock().upgrade()
     }
 
     /// The configured page size.

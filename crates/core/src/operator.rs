@@ -37,7 +37,8 @@ use rexa_exec::vector::VectorData;
 use rexa_exec::{hashing, DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
 use rexa_layout::matcher::{row_row_match, row_row_match_sel, rows_match, rows_match_sel};
 use rexa_layout::{PartitionedTupleData, TupleDataCollection, TupleDataLayout};
-use rexa_obs::{Phase, ProfileCollector, QueryProfile};
+use rexa_obs::span::{self, cat as span_cat};
+use rexa_obs::{Phase, ProfileCollector, QueryProfile, SpanBuffer};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -1095,6 +1096,7 @@ impl LocalAgg<'_> {
 
 /// Aggregate one partition: pin, recompute pointers, merge duplicate groups
 /// by pointer insertion, stream outputs, destroy pages.
+#[allow(clippy::too_many_arguments)]
 fn finalize_partition(
     plan: &BoundPlan,
     mgr: &Arc<BufferManager>,
@@ -1103,6 +1105,7 @@ fn finalize_partition(
     mut part: TupleDataCollection,
     consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
     groups_out: &AtomicUsize,
+    sbuf: Option<&SpanBuffer>,
 ) -> Result<()> {
     if part.rows() == 0 {
         return Ok(());
@@ -1284,6 +1287,7 @@ fn finalize_partition(
     // Emit the surviving groups ("fully aggregated partitions are
     // immediately scanned" — pushed to the consumer, then freed).
     let t_emit = Instant::now();
+    let t_emit_ns = sbuf.map(|b| b.now_ns());
     for batch in live.chunks(config.output_chunk_size.max(1)) {
         ctx.check_cancelled()?;
         // SAFETY: batch pointers come from this collection under `pins`.
@@ -1319,6 +1323,14 @@ fn finalize_partition(
             }
         }
         consumer(DataChunk::new(columns))?;
+    }
+    if let (Some(b), Some(t)) = (sbuf, t_emit_ns) {
+        b.complete(
+            "finalize",
+            span_cat::COMPUTE,
+            t,
+            span::arg1("groups", live.len() as u64),
+        );
     }
     if let Some(profile) = ctx.profile() {
         // The emit share of this task's time: phase-2 busy (credited to the
@@ -1514,6 +1526,16 @@ pub fn hash_aggregate_streaming_ctx(
     let ctx_prof = ctx.clone().with_profile(Arc::clone(&collector));
     let ctx = &ctx_prof;
     collector.set_threads(config.threads);
+    // Timeline tracing is strictly opt-in: with no collector on the
+    // context, every span site below is a skipped `Option` check. With
+    // one, the buffer manager's background I/O workers record into the
+    // same collector (via a weak sink), so spill/read-ahead overlap shows
+    // up on `io` tracks next to the compute tracks.
+    let spans = ctx.spans().cloned();
+    if let Some(sc) = &spans {
+        mgr.attach_spans(sc);
+    }
+    let cbuf = spans.as_ref().map(|sc| sc.track("coordinator"));
     let t_run = Instant::now();
 
     let sink = AggSink {
@@ -1557,6 +1579,7 @@ pub fn hash_aggregate_streaming_ctx(
         let handoff = PartitionHandoff::new(mgr, &bound.layout, partitions, threads_n);
         let depth = config.readahead_depth;
         let t0 = Instant::now();
+        let t0_ns = cbuf.as_ref().map(|b| b.now_ns());
         // The unified worker body: probe morsels into thread-local (or
         // shared) state, flush fragments through the per-partition handoff,
         // then merge whatever partitions are (or become) ready. There is no
@@ -1564,20 +1587,54 @@ pub fn hash_aggregate_streaming_ctx(
         // workers still probe.
         let worker = || -> Result<()> {
             let wid = collector.begin_worker();
+            let sbuf = spans.as_ref().map(|sc| sc.track(format!("worker {wid}")));
             let mut guard = FailGuard {
                 handoff: &handoff,
                 armed: true,
             };
             handoff.started.fetch_add(1, Ordering::AcqRel);
             let t_worker = Instant::now();
+            let t_probe_ns = sbuf.as_ref().map(|b| b.now_ns());
             let mut local = sink.local()?;
             let mut reader = source.reader();
             let mut chunks = 0u64;
             let probe_res: Result<()> = (|| {
+                // Tracing-only morsel segmentation: one span per claimed
+                // morsel, one timestamp per chunk — skipped entirely when
+                // no collector is attached.
+                let mut m_seen = 0u64;
+                let mut m_start = 0u64;
                 while let Some(chunk) = reader.next()? {
                     ctx.check_cancelled()?;
+                    let t_chunk = sbuf.as_ref().map(|b| b.now_ns());
                     local.sink(chunk)?;
                     chunks += 1;
+                    if let (Some(b), Some(t)) = (&sbuf, t_chunk) {
+                        let claimed = reader.morsels_claimed();
+                        if claimed != m_seen {
+                            if m_seen > 0 {
+                                b.complete_between(
+                                    "morsel",
+                                    span_cat::COMPUTE,
+                                    m_start,
+                                    t,
+                                    span::arg1("morsel", m_seen - 1),
+                                );
+                            }
+                            m_seen = claimed;
+                            m_start = t;
+                        }
+                    }
+                }
+                if let Some(b) = &sbuf {
+                    if m_seen > 0 {
+                        b.complete(
+                            "morsel",
+                            span_cat::COMPUTE,
+                            m_start,
+                            span::arg1("morsel", m_seen - 1),
+                        );
+                    }
                 }
                 Ok(())
             })();
@@ -1609,6 +1666,15 @@ pub fn hash_aggregate_streaming_ctx(
                 handoff.ready_cv.notify_all();
             }
             local.data.release_pins();
+            if let (Some(b), Some(t)) = (&sbuf, t_probe_ns) {
+                b.complete(
+                    "probe",
+                    span_cat::COMPUTE,
+                    t,
+                    span::arg2("chunks", chunks, "morsels", morsels),
+                );
+            }
+            let t_flush_ns = sbuf.as_ref().map(|b| b.now_ns());
             // Flush fragments partition by partition, staggered by worker
             // id so concurrent flushes mostly touch different slot locks.
             // The flush that completes a partition publishes it.
@@ -1621,7 +1687,22 @@ pub fn hash_aggregate_streaming_ctx(
                     let mut ready = handoff.ready.lock();
                     ready.push((bytes, p));
                     handoff.ready_cv.notify_one();
+                    if let Some(b) = &sbuf {
+                        b.instant(
+                            "publish",
+                            span_cat::COMPUTE,
+                            span::arg1("partition", p as u64),
+                        );
+                    }
                 }
+            }
+            if let (Some(b), Some(t)) = (&sbuf, t_flush_ns) {
+                b.complete(
+                    "flush",
+                    span_cat::COMPUTE,
+                    t,
+                    span::arg1("partitions", partitions as u64),
+                );
             }
             drop(local); // frees the probe table before merging starts
             let probe_busy = t_worker.elapsed();
@@ -1675,6 +1756,14 @@ pub fn hash_aggregate_streaming_ctx(
                 };
                 let Some((_, p)) = claim else { break };
                 let t_merge = Instant::now();
+                let t_merge_ns = sbuf.as_ref().map(|b| {
+                    b.instant(
+                        "claim",
+                        span_cat::COMPUTE,
+                        span::arg1("partition", p as u64),
+                    );
+                    b.now_ns()
+                });
                 // Read-ahead: warm the largest still-queued partitions so
                 // their spilled pages are resident by the time a worker
                 // claims them.
@@ -1701,7 +1790,24 @@ pub fn hash_aggregate_streaming_ctx(
                     )
                 };
                 collector.add_units_to(Phase::Merge, 1);
-                finalize_partition(&bound, mgr, config, ctx, part, consumer, &groups_out)?;
+                finalize_partition(
+                    &bound,
+                    mgr,
+                    config,
+                    ctx,
+                    part,
+                    consumer,
+                    &groups_out,
+                    sbuf.as_deref(),
+                )?;
+                if let (Some(b), Some(t)) = (&sbuf, t_merge_ns) {
+                    b.complete(
+                        "merge",
+                        span_cat::COMPUTE,
+                        t,
+                        span::arg1("partition", p as u64),
+                    );
+                }
                 merge_busy += t_merge.elapsed();
             }
             collector.add_busy_to(Phase::Merge, merge_busy);
@@ -1722,6 +1828,21 @@ pub fn hash_aggregate_streaming_ctx(
         collector.set_phase_wall(Phase::Probe, phase1);
         collector.set_phase_wall(Phase::Partition, Duration::ZERO);
         collector.set_phase_wall(Phase::Merge, phase2);
+        if let (Some(b), Some(t0n)) = (&cbuf, t0_ns) {
+            // Phase lanes on the coordinator track: the wall-clock extent
+            // of phase 1 (until the last fragment flushed) and phase 2,
+            // for orientation above the per-worker tracks.
+            let p1 = phase1.as_nanos() as u64;
+            let p2 = phase2.as_nanos() as u64;
+            b.complete_between("phase 1", span_cat::COMPUTE, t0n, t0n + p1, span::NO_ARGS);
+            b.complete_between(
+                "phase 2",
+                span_cat::COMPUTE,
+                t0n + p1,
+                t0n + p1 + p2,
+                span::NO_ARGS,
+            );
+        }
         // An input too small to sample (or empty) never decides: it ran
         // thread-local throughout, so record that.
         if sink.decision.load(Ordering::Acquire) == DECIDE_PENDING {
@@ -1735,7 +1856,11 @@ pub fn hash_aggregate_streaming_ctx(
     // Wait out any in-flight background writes/reads: a deferred spill error
     // belongs to this query, and the stats delta below must not race active
     // I/O. The run's own error (if any) takes precedence.
+    let t_drain_ns = cbuf.as_ref().map(|b| b.now_ns());
     let drained = mgr.drain_io();
+    if let (Some(b), Some(t)) = (&cbuf, t_drain_ns) {
+        b.complete("drain_io", span_cat::IO, t, span::NO_ARGS);
+    }
     let (phase1, phase2, rows_in, resets) = run?;
     drained?;
 
@@ -1769,7 +1894,14 @@ pub fn hash_aggregate_streaming_ctx(
         KernelMode::Vectorized => "HASH_AGGREGATE (vectorized)",
         KernelMode::Scalar => "HASH_AGGREGATE (scalar)",
     };
-    let profile = collector.finish(operator, t_run.elapsed());
+    let mut profile = collector.finish(operator, t_run.elapsed());
+    if let Some(sc) = &spans {
+        // The workers have joined and `drain_io` waited out the background
+        // jobs, so every buffer for this query is quiescent: merge them
+        // into the profile. Non-destructive — a service collector carrying
+        // admission spans keeps them for its own export.
+        profile.timeline = sc.merge();
+    }
 
     Ok(RunStats {
         rows_in,

@@ -16,6 +16,7 @@
 use crate::chunk::{ChunkCollection, DataChunk};
 use crate::error::{Error, Result};
 use crate::pool::ExecContext;
+use rexa_obs::span::{self, cat as span_cat};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -209,21 +210,69 @@ impl Pipeline {
         let work = || {
             // Busy time and chunk counts are accumulated locally and
             // flushed to the profile collector once per worker, so the
-            // streaming loop itself carries no profiling cost.
+            // streaming loop itself carries no profiling cost. Span
+            // tracing adds one timestamp per chunk and one record per
+            // morsel — and only when a collector is attached.
             let started = std::time::Instant::now();
             let mut chunks = 0u64;
             let mut morsels = 0u64;
+            let sbuf = ctx.spans().map(|sc| sc.track_indexed("worker"));
+            let t_worker = sbuf.as_ref().map(|b| b.now_ns());
             let result = (|| {
                 let mut reader = source.reader();
                 let mut local = sink.local()?;
+                // Morsel-batch segmentation: a span per claimed morsel,
+                // closed when the reader moves on to the next claim.
+                let mut m_seen = 0u64;
+                let mut m_start = 0u64;
                 while let Some(chunk) = reader.next()? {
                     ctx.check_cancelled()?;
+                    let t_chunk = sbuf.as_ref().map(|b| b.now_ns());
                     local.sink(chunk)?;
                     chunks += 1;
+                    if let (Some(b), Some(t)) = (&sbuf, t_chunk) {
+                        let claimed = reader.morsels_claimed();
+                        if claimed != m_seen {
+                            if m_seen > 0 {
+                                b.complete_between(
+                                    "morsel",
+                                    span_cat::COMPUTE,
+                                    m_start,
+                                    t,
+                                    span::arg1("morsel", m_seen - 1),
+                                );
+                            }
+                            m_seen = claimed;
+                            m_start = t;
+                        }
+                    }
                 }
                 morsels = reader.morsels_claimed();
-                local.combine()
+                if let Some(b) = &sbuf {
+                    if m_seen > 0 {
+                        b.complete(
+                            "morsel",
+                            span_cat::COMPUTE,
+                            m_start,
+                            span::arg1("morsel", m_seen - 1),
+                        );
+                    }
+                    let t_combine = b.now_ns();
+                    let r = local.combine();
+                    b.complete("combine", span_cat::COMPUTE, t_combine, span::NO_ARGS);
+                    r
+                } else {
+                    local.combine()
+                }
             })();
+            if let (Some(b), Some(t)) = (&sbuf, t_worker) {
+                b.complete(
+                    "pipeline",
+                    span_cat::COMPUTE,
+                    t,
+                    span::arg2("chunks", chunks, "morsels", morsels),
+                );
+            }
             if let Some(p) = ctx.profile() {
                 p.add_busy(started.elapsed());
                 p.add_units(chunks);
@@ -265,11 +314,21 @@ pub fn parallel_for_ctx(
     let work = || {
         let started = std::time::Instant::now();
         let mut executed = 0u64;
+        let sbuf = ctx.spans().map(|sc| sc.track_indexed("worker"));
         let result = (|| {
             while let Some(task) = claim(&next, tasks) {
                 ctx.check_cancelled()?;
+                let t_task = sbuf.as_ref().map(|b| b.now_ns());
                 f(task)?;
                 executed += 1;
+                if let (Some(b), Some(t)) = (&sbuf, t_task) {
+                    b.complete(
+                        "task",
+                        span_cat::COMPUTE,
+                        t,
+                        span::arg1("task", task as u64),
+                    );
+                }
             }
             Ok(())
         })();

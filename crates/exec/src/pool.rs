@@ -22,7 +22,7 @@
 use crate::error::{Error, Result};
 use crate::pipeline::CancelToken;
 use parking_lot::{Condvar, Mutex};
-use rexa_obs::ProfileCollector;
+use rexa_obs::{ProfileCollector, SpanCollector};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -276,6 +276,7 @@ pub struct ExecContext {
     cancel: CancelToken,
     grant: Option<Arc<dyn MemoryGrant>>,
     profile: Option<Arc<ProfileCollector>>,
+    spans: Option<Arc<SpanCollector>>,
 }
 
 impl ExecContext {
@@ -292,6 +293,7 @@ impl ExecContext {
             cancel: CancelToken::new(),
             grant: None,
             profile: None,
+            spans: None,
         }
     }
 
@@ -318,6 +320,22 @@ impl ExecContext {
     /// The attached profile collector, if any.
     pub fn profile(&self) -> Option<&Arc<ProfileCollector>> {
         self.profile.as_ref()
+    }
+
+    /// Attach a per-query span collector (builder style). Workers record
+    /// timeline spans (probe, flush, per-partition merge, background I/O)
+    /// into lock-free per-worker buffers; the operator merges them into
+    /// `QueryProfile::timeline` at query end. When absent — the default —
+    /// every instrumentation site is a skipped `Option` check and no
+    /// timestamps are taken.
+    pub fn with_spans(mut self, spans: Arc<SpanCollector>) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// The attached span collector, if any.
+    pub fn spans(&self) -> Option<&Arc<SpanCollector>> {
+        self.spans.as_ref()
     }
 
     /// Carve `bytes` out of the attached grant. `None` when no grant is

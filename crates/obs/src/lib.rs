@@ -17,16 +17,23 @@
 //!   (spill, eviction, retry/backoff, fault injection, degradation
 //!   decisions) with monotonic timestamps, so chaos-test failures come with
 //!   a causal event log.
+//! * [`span`] — a per-query timeline: lock-free per-worker [`SpanBuffer`]s
+//!   collected by a [`SpanCollector`] and exported as Chrome trace-event
+//!   JSON for Perfetto, so spill/read-ahead overlap with compute is
+//!   visible on a real timeline instead of inferred from counters.
 //!
 //! The crate depends only on `parking_lot` so every layer — exec, storage,
 //! buffer, layout, core, service — can depend on it without cycles.
 
 pub mod metrics;
 pub mod profile;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, MetricKind, MetricValue, MetricsRegistry, MetricsSnapshot,
+    Counter, Gauge, Histogram, MetricKind, MetricNameError, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
 };
 pub use profile::{Phase, PhaseProfile, ProfileCollector, QueryProfile};
+pub use span::{SpanBuffer, SpanCollector, SpanEvent, SpanKind, SpanRecord, SpanTimeline};
 pub use trace::{EventTrace, TraceEvent, TraceEventKind};

@@ -350,14 +350,24 @@ impl MetricsRegistry {
         })
     }
 
-    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
-        debug_assert!(
-            valid_metric_name(name),
-            "invalid Prometheus metric name: {name:?}"
-        );
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Result<Metric, MetricNameError> {
+        // Enforced unconditionally (not a debug_assert): a name with
+        // spaces, quotes, or newlines would render as corrupt Prometheus
+        // exposition text — every scrape of the registry breaks, not just
+        // the offending series.
+        if !valid_metric_name(name) {
+            return Err(MetricNameError {
+                name: name.to_string(),
+            });
+        }
         let mut map = self.metrics.lock();
         if let Some(existing) = map.get(name) {
-            return existing.metric.clone();
+            return Ok(existing.metric.clone());
         }
         let metric = make();
         map.insert(
@@ -367,28 +377,52 @@ impl MetricsRegistry {
                 metric: metric.clone(),
             },
         );
-        metric
+        Ok(metric)
     }
 
-    /// Get-or-create a counter. Panics if `name` is registered as another
-    /// kind (a programming error, not a runtime condition).
+    /// Get-or-create a counter. Panics on an invalid name or if `name` is
+    /// registered as another kind (programming errors, not runtime
+    /// conditions); use [`try_counter`](Self::try_counter) for dynamic
+    /// names.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
-        match self.register(name, help, || Metric::Counter(Counter::new())) {
-            Metric::Counter(c) => c,
+        self.try_counter(name, help).unwrap()
+    }
+
+    /// Get-or-create a counter, rejecting names that would corrupt the
+    /// Prometheus exposition output.
+    pub fn try_counter(&self, name: &str, help: &str) -> Result<Counter, MetricNameError> {
+        match self.register(name, help, || Metric::Counter(Counter::new()))? {
+            Metric::Counter(c) => Ok(c),
             m => panic!("{name:?} already registered as {:?}", m.kind()),
         }
     }
 
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.register(name, help, || Metric::Gauge(Gauge::new())) {
-            Metric::Gauge(g) => g,
+        self.try_gauge(name, help).unwrap()
+    }
+
+    /// Fallible [`gauge`](Self::gauge): typed error on an invalid name.
+    pub fn try_gauge(&self, name: &str, help: &str) -> Result<Gauge, MetricNameError> {
+        match self.register(name, help, || Metric::Gauge(Gauge::new()))? {
+            Metric::Gauge(g) => Ok(g),
             m => panic!("{name:?} already registered as {:?}", m.kind()),
         }
     }
 
     pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
-        match self.register(name, help, || Metric::Histogram(Histogram::new(bounds))) {
-            Metric::Histogram(h) => h,
+        self.try_histogram(name, help, bounds).unwrap()
+    }
+
+    /// Fallible [`histogram`](Self::histogram): typed error on an invalid
+    /// name.
+    pub fn try_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+    ) -> Result<Histogram, MetricNameError> {
+        match self.register(name, help, || Metric::Histogram(Histogram::new(bounds)))? {
+            Metric::Histogram(h) => Ok(h),
             m => panic!("{name:?} already registered as {:?}", m.kind()),
         }
     }
@@ -465,6 +499,27 @@ impl std::fmt::Debug for MetricsRegistry {
             .finish()
     }
 }
+
+/// A metric name was rejected at registration: it does not match the
+/// Prometheus name grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`, so rendering it
+/// would corrupt the text exposition output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricNameError {
+    /// The offending name, verbatim.
+    pub name: String,
+}
+
+impl std::fmt::Display for MetricNameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid Prometheus metric name {:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for MetricNameError {}
 
 /// Prometheus metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
 fn valid_metric_name(name: &str) -> bool {
@@ -702,5 +757,44 @@ rexa_spills_total 3
         assert!(!valid_metric_name("1abc"));
         assert!(!valid_metric_name("has space"));
         assert!(!valid_metric_name(""));
+    }
+
+    #[test]
+    fn registration_rejects_adversarial_names() {
+        // Every one of these would corrupt the exposition text if it ever
+        // reached render_prometheus: embedded newlines forge extra sample
+        // lines, quotes/braces break label parsing, spaces split the
+        // sample into garbage tokens.
+        let adversarial = [
+            "",
+            "1starts_with_digit",
+            "has space",
+            "has-dash",
+            "quote\"inside",
+            "brace{le=\"0.1\"}",
+            "newline\ninjected_metric 42",
+            "unicode_héllo",
+            "tab\tseparated",
+        ];
+        let reg = MetricsRegistry::new();
+        for name in adversarial {
+            let err = reg.try_counter(name, "help").unwrap_err();
+            assert_eq!(err.name, name);
+            assert!(err.to_string().contains("invalid Prometheus metric name"));
+            assert!(reg.try_gauge(name, "help").is_err(), "gauge {name:?}");
+            assert!(
+                reg.try_histogram(name, "help", &[1.0]).is_err(),
+                "histogram {name:?}"
+            );
+        }
+        // Nothing was registered: the render stays empty and well-formed.
+        assert_eq!(reg.render_prometheus(), "");
+        assert!(reg.snapshot().values.is_empty());
+
+        // Valid names still register through the fallible paths and the
+        // infallible wrappers agree (same underlying handle).
+        let c = reg.try_counter("rexa_ok_total", "help").unwrap();
+        c.add(2);
+        assert_eq!(reg.counter("rexa_ok_total", "help").get(), 2);
     }
 }

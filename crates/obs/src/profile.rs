@@ -9,6 +9,7 @@
 //! and [`QueryProfile`] is the immutable result, rendered as an
 //! `EXPLAIN ANALYZE`-style tree by [`QueryProfile::render`].
 
+use crate::span::{self, SpanTimeline};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -129,6 +130,10 @@ pub struct QueryProfile {
     /// Read-ahead attempts that did not help (no headroom, read failed, or
     /// the page was evicted again before use).
     pub readahead_misses: u64,
+    /// Span timeline merged from the per-worker buffers when a
+    /// [`crate::span::SpanCollector`] was attached to the run; empty
+    /// otherwise. Export with [`QueryProfile::chrome_trace_json`].
+    pub timeline: SpanTimeline,
 }
 
 /// Render a byte count in the most readable binary unit.
@@ -216,9 +221,14 @@ impl QueryProfile {
                 }
             }
         }
+        let buffer_glyph = if self.timeline.is_empty() {
+            "└─"
+        } else {
+            "├─"
+        };
         let _ = writeln!(
             out,
-            "└─ buffer             spill_bytes_written {} ({})  spill_bytes_read {} ({})  \
+            "{buffer_glyph} buffer             spill_bytes_written {} ({})  spill_bytes_read {} ({})  \
              spill_retries {}  evictions {}  readahead_hits {}  readahead_misses {}",
             self.spill_bytes_written,
             fmt_bytes(self.spill_bytes_written),
@@ -229,7 +239,21 @@ impl QueryProfile {
             self.readahead_hits,
             self.readahead_misses,
         );
+        if !self.timeline.is_empty() {
+            let _ = writeln!(
+                out,
+                "└─ spans              {}",
+                span::summarize(&self.timeline, 8)
+            );
+        }
         out
+    }
+
+    /// Serialize the attached span timeline as Chrome trace-event JSON,
+    /// loadable in Perfetto or `about://tracing`. Returns an empty trace
+    /// (no events beyond metadata) when the run was not traced.
+    pub fn chrome_trace_json(&self) -> String {
+        span::chrome_trace_json(&self.timeline)
     }
 }
 
@@ -434,6 +458,7 @@ impl ProfileCollector {
             evictions: self.evictions.load(Ordering::Relaxed),
             readahead_hits: self.readahead_hits.load(Ordering::Relaxed),
             readahead_misses: self.readahead_misses.load(Ordering::Relaxed),
+            timeline: SpanTimeline::default(),
         }
     }
 }
@@ -571,6 +596,31 @@ mod tests {
             report.contains("worker 0  busy 0.011s  morsels 4  chunks 42  ht_resets 4"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn render_includes_span_summary_when_traced() {
+        let c = ProfileCollector::new();
+        let untraced = c.finish("x", Duration::ZERO);
+        assert!(!untraced.render().contains("└─ spans"));
+
+        let sc = crate::span::SpanCollector::new();
+        let b = sc.track("worker 0");
+        b.complete(
+            "probe",
+            crate::span::cat::COMPUTE,
+            b.now_ns(),
+            crate::span::NO_ARGS,
+        );
+        let mut p = c.finish("x", Duration::ZERO);
+        p.timeline = sc.merge();
+        let r = p.render();
+        assert!(r.contains("└─ spans"), "{r}");
+        assert!(r.contains("probe 1x"), "{r}");
+        assert!(r.contains("├─ buffer"), "{r}");
+        let json = p.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"name\":\"worker 0\""), "{json}");
     }
 
     #[test]

@@ -109,8 +109,12 @@ impl EventTrace {
     }
 
     pub fn record(&self, kind: TraceEventKind) {
-        let at = self.epoch.elapsed();
         let mut ring = self.ring.lock();
+        // Stamp under the lock: the mutex orders insertions, and a
+        // monotonic clock read inside that order keeps the ring sorted by
+        // timestamp (snapshots read as a causal timeline even when writers
+        // race).
+        let at = self.epoch.elapsed();
         if ring.buf.len() == self.capacity {
             ring.buf.pop_front();
             ring.dropped += 1;
@@ -250,5 +254,60 @@ mod tests {
         });
         assert_eq!(t.len(), 64);
         assert_eq!(t.dropped(), 4000 - 64);
+    }
+
+    #[test]
+    fn concurrent_wraparound_stress() {
+        // 8 writers hammer a tiny ring (capacity 16) so every record past
+        // the first handful wraps; meanwhile 2 readers snapshot/render
+        // continuously. The ring must stay bounded, never panic on the
+        // lost tail, and account every record as either retained or
+        // dropped.
+        let t = EventTrace::new(16);
+        let writers = 8;
+        let per_writer = 5_000u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        match (w + i) % 3 {
+                            0 => t.record(TraceEventKind::Spill { bytes: i }),
+                            1 => t.record(TraceEventKind::Retry { attempt: i as u32 }),
+                            _ => t.record(TraceEventKind::Backoff { micros: i }),
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let snap = t.snapshot();
+                        assert!(snap.len() <= 16, "snapshot exceeds capacity");
+                        // A concurrent snapshot is a consistent prefix-drop
+                        // view: timestamps within it are monotone.
+                        for pair in snap.windows(2) {
+                            assert!(pair[1].at >= pair[0].at, "snapshot out of order");
+                        }
+                        let _ = t.render();
+                    }
+                });
+            }
+        });
+        let total = writers * per_writer;
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.dropped() + t.len() as u64, total);
+        // Post-quiescence: the surviving tail is monotone and renders
+        // without panicking on the dropped prefix.
+        let snap = t.snapshot();
+        for pair in snap.windows(2) {
+            assert!(pair[1].at >= pair[0].at, "final snapshot out of order");
+        }
+        let rendered = t.render();
+        assert!(
+            rendered.contains("earlier events dropped"),
+            "dropped prefix unreported:\n{rendered}"
+        );
     }
 }

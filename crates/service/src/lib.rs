@@ -47,7 +47,8 @@ use rexa_core::{
 use rexa_exec::pipeline::{CancelToken, ChunkSource, CollectionSource};
 use rexa_exec::pool::{ExecContext, WorkerPool};
 use rexa_exec::{ChunkCollection, DataChunk, Error, Result};
-use rexa_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use rexa_obs::span::{arg1, cat as span_cat, NO_ARGS};
+use rexa_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanCollector};
 use rexa_sql::{Catalog, PhysicalPlan, SqlError, TableData};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,6 +66,10 @@ pub struct ServiceConfig {
     /// Maximum queries *waiting* for admission; submissions past this bound
     /// are shed with [`Error::Overloaded`].
     pub queue_bound: usize,
+    /// Slow-query log: queries whose execution exceeds the configured
+    /// threshold emit a structured one-line record through the sink.
+    /// `None` (the default) disables the log entirely.
+    pub slow_query: Option<SlowQueryConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -74,7 +79,92 @@ impl Default for ServiceConfig {
             pool_threads: cores.min(16),
             max_concurrent: 4,
             queue_bound: 64,
+            slow_query: None,
         }
+    }
+}
+
+/// Pluggable destination for slow-query records. Called on the query's
+/// driver thread after completion; keep it cheap (format-and-log).
+pub type SlowQuerySink = Arc<dyn Fn(&SlowQueryRecord) + Send + Sync>;
+
+/// Slow-query log configuration: the duration threshold and where records
+/// go.
+#[derive(Clone)]
+pub struct SlowQueryConfig {
+    /// Queries whose execution (launch to completion, queue time excluded)
+    /// takes at least this long are logged.
+    pub threshold: Duration,
+    /// Receives one record per slow query.
+    pub sink: SlowQuerySink,
+}
+
+impl SlowQueryConfig {
+    pub fn new(
+        threshold: Duration,
+        sink: impl Fn(&SlowQueryRecord) + Send + Sync + 'static,
+    ) -> Self {
+        SlowQueryConfig {
+            threshold,
+            sink: Arc::new(sink),
+        }
+    }
+}
+
+impl std::fmt::Debug for SlowQueryConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowQueryConfig")
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One slow query, summarized for the log. [`SlowQueryRecord::render`]
+/// produces the canonical one-line text form.
+#[derive(Clone, Debug)]
+pub struct SlowQueryRecord {
+    /// Service-assigned query id.
+    pub id: u64,
+    /// `"aggregate"` for hand-wired plans, `"sql"` for SQL submissions.
+    pub kind: &'static str,
+    /// The SQL text (truncated) or a plan summary.
+    pub summary: String,
+    /// Execution wall time, launch to completion.
+    pub duration: Duration,
+    /// Time spent queued before launch.
+    pub queued: Duration,
+    /// Spill bytes written during the run (0 when the query failed before
+    /// producing stats).
+    pub spill_bytes: u64,
+    /// Thread-local hash-table resets during phase 1.
+    pub ht_resets: u64,
+    /// Phase-1 strategy the operator settled on (empty on failure).
+    pub strategy: String,
+    /// `"ok"` or `"error"`.
+    pub outcome: &'static str,
+}
+
+impl SlowQueryRecord {
+    /// The structured one-line form, `key=value` separated by spaces with
+    /// the free-text summary quoted last.
+    pub fn render(&self) -> String {
+        format!(
+            "slow_query id={} kind={} duration_ms={} queued_ms={} spill_bytes={} \
+             ht_resets={} strategy={} outcome={} summary={:?}",
+            self.id,
+            self.kind,
+            self.duration.as_millis(),
+            self.queued.as_millis(),
+            self.spill_bytes,
+            self.ht_resets,
+            if self.strategy.is_empty() {
+                "-"
+            } else {
+                &self.strategy
+            },
+            self.outcome,
+            self.summary,
+        )
     }
 }
 
@@ -118,6 +208,14 @@ pub struct QueryOptions {
     /// Stream output chunks to this consumer instead of collecting them.
     /// Collected output is the default ([`QueryOutput::output`]).
     pub consumer: Option<Arc<dyn Fn(DataChunk) -> Result<()> + Send + Sync>>,
+    /// Trace this query's timeline into the given collector: the service
+    /// records admission spans (queue wait, memory reservation) and SQL
+    /// front-end spans, the operator records per-worker probe/flush/merge
+    /// spans, and the buffer manager's I/O workers record background
+    /// spill/read-ahead spans. Export the merged timeline from
+    /// `QueryOutput::stats.profile.chrome_trace_json()`. `None` (the
+    /// default) disables tracing at zero cost.
+    pub spans: Option<Arc<SpanCollector>>,
 }
 
 /// One query: a plan over an input, with options.
@@ -285,6 +383,8 @@ enum RequestKind {
     Aggregate(QueryRequest),
     Sql {
         plan: Arc<PhysicalPlan>,
+        /// The original statement text, kept for the slow-query log.
+        sql: String,
         options: QueryOptions,
     },
 }
@@ -306,7 +406,7 @@ impl RequestKind {
                 let row_width = plan_row_width(&r.plan, &r.input.schema()).unwrap_or(32);
                 estimate_footprint(&r.options.config, page_size, r.input.rows(), row_width)
             }
-            RequestKind::Sql { plan, options } => match &plan.aggregate {
+            RequestKind::Sql { plan, options, .. } => match &plan.aggregate {
                 Some(agg) if !agg.group_cols.is_empty() => {
                     let row_width = plan_row_width(agg, &plan.input_schema).unwrap_or(32);
                     estimate_footprint(&options.config, page_size, plan.input_rows(), row_width)
@@ -503,9 +603,13 @@ impl QueryService {
         options: QueryOptions,
     ) -> std::result::Result<QueryHandle, SqlError> {
         let catalog = self.catalog.lock().clone();
-        let plan = rexa_sql::plan(sql, &catalog)?;
+        // Parse/bind/plan happen on the submitting thread, before anything
+        // queues — tracing them here puts the front-end spans on the same
+        // timeline as admission and execution.
+        let plan = rexa_sql::plan_traced(sql, &catalog, options.spans.as_ref())?;
         self.enqueue(RequestKind::Sql {
             plan: Arc::new(plan),
+            sql: sql.to_string(),
             options,
         })
         .map_err(SqlError::Engine)
@@ -694,7 +798,7 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
             .options()
             .footprint
             .unwrap_or_else(|| q.request.estimate(shared.mgr.page_size()));
-        match shared.mgr.reserve(footprint) {
+        match reserve_traced(shared, &q, footprint) {
             Ok(reservation) => launch(shared, q, reservation),
             Err(_) => {
                 let mut state = shared.state.lock();
@@ -706,7 +810,7 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
                     // every release. Only if it fails again is the
                     // footprint genuinely unsatisfiable.
                     drop(state);
-                    match shared.mgr.reserve(footprint) {
+                    match reserve_traced(shared, &q, footprint) {
                         Ok(reservation) => launch(shared, q, reservation),
                         Err(e) => {
                             shared.metrics.failed.incr();
@@ -723,6 +827,34 @@ fn scheduler_loop(shared: &Arc<ServiceShared>) {
             }
         }
     }
+}
+
+/// Reserve the admission footprint, recording a `reserve` span on the
+/// query's `service` track when it is traced — reservation may evict (and
+/// so do I/O), which is exactly the admission latency worth seeing on a
+/// timeline.
+fn reserve_traced(
+    shared: &ServiceShared,
+    q: &QueuedQuery,
+    footprint: usize,
+) -> Result<MemoryReservation> {
+    let sbuf = q
+        .request
+        .options()
+        .spans
+        .as_ref()
+        .map(|sc| sc.track("service"));
+    let t = sbuf.as_ref().map(|b| b.now_ns());
+    let result = shared.mgr.reserve(footprint);
+    if let (Some(b), Some(t)) = (&sbuf, t) {
+        b.complete(
+            "reserve",
+            span_cat::SERVICE,
+            t,
+            arg1("bytes", footprint as u64),
+        );
+    }
+    result
 }
 
 /// Count a reserved query as running and hand it to a fresh driver thread.
@@ -772,6 +904,20 @@ fn spawn_driver(
             let stats_before = service.mgr.stats();
             let launched_at = Instant::now();
             service.metrics.queue_wait.observe(queued_for.as_secs_f64());
+            if let Some(sc) = request.options().spans.as_ref() {
+                // The queue-wait span runs from submission to launch. The
+                // collector existed before submission (the caller made it),
+                // so `now - queued_for` lands inside its epoch.
+                let b = sc.track("service");
+                let now = b.now_ns();
+                b.complete_between(
+                    "queue_wait",
+                    span_cat::SERVICE,
+                    now.saturating_sub(queued_for.as_nanos() as u64),
+                    now,
+                    NO_ARGS,
+                );
+            }
 
             // The reservation becomes the query's memory *grant*: the
             // operator carves its unspillable allocations (hash-table entry
@@ -799,6 +945,14 @@ fn spawn_driver(
                     }
                 }
             }
+            if let Some(slow) = &service.config.slow_query {
+                let duration = launched_at.elapsed();
+                if duration >= slow.threshold {
+                    (slow.sink)(&slow_query_record(
+                        &query, &request, duration, queued_for, &result,
+                    ));
+                }
+            }
             // Release what is left of the grant before completing, so a
             // waiting query observes the headroom as soon as it is notified.
             drop(grant);
@@ -816,6 +970,56 @@ fn spawn_driver(
         .expect("spawn query driver")
 }
 
+/// Build the slow-query log record for a completed (or failed) query.
+fn slow_query_record(
+    query: &QueryShared,
+    request: &RequestKind,
+    duration: Duration,
+    queued: Duration,
+    result: &Result<QueryOutput>,
+) -> SlowQueryRecord {
+    const SUMMARY_MAX: usize = 200;
+    let (kind, summary) = match request {
+        RequestKind::Aggregate(r) => (
+            "aggregate",
+            format!(
+                "HASH_AGGREGATE groups={} aggregates={}",
+                r.plan.group_cols.len(),
+                r.plan.aggregates.len()
+            ),
+        ),
+        RequestKind::Sql { sql, .. } => {
+            let mut s = sql.trim().to_string();
+            if s.len() > SUMMARY_MAX {
+                let cut = (0..=SUMMARY_MAX).rev().find(|&i| s.is_char_boundary(i));
+                s.truncate(cut.unwrap_or(0));
+                s.push('…');
+            }
+            ("sql", s)
+        }
+    };
+    let (spill_bytes, ht_resets, strategy, outcome) = match result {
+        Ok(out) => (
+            out.stats.profile.spill_bytes_written,
+            out.stats.profile.ht_resets,
+            out.stats.profile.strategy.clone(),
+            "ok",
+        ),
+        Err(_) => (0, 0, String::new(), "error"),
+    };
+    SlowQueryRecord {
+        id: query.id,
+        kind,
+        summary,
+        duration,
+        queued,
+        spill_bytes,
+        ht_resets,
+        strategy,
+        outcome,
+    }
+}
+
 fn run_query(
     service: &ServiceShared,
     query: &QueryShared,
@@ -823,9 +1027,12 @@ fn run_query(
     grant: Arc<ReservationGrant>,
 ) -> Result<(Option<ChunkCollection>, RunStats)> {
     query.cancel.check()?;
-    let ctx = ExecContext::with_pool(Arc::clone(&service.pool))
+    let mut ctx = ExecContext::with_pool(Arc::clone(&service.pool))
         .with_cancel(query.cancel.clone())
         .with_grant(grant);
+    if let Some(sc) = request.options().spans.as_ref() {
+        ctx = ctx.with_spans(Arc::clone(sc));
+    }
     let output_types = match request {
         RequestKind::Aggregate(r) => output_schema(&r.plan, &r.input.schema())?,
         RequestKind::Sql { plan, .. } => plan.output_types.clone(),
@@ -870,7 +1077,7 @@ fn run_query(
                 }
             }
         }
-        RequestKind::Sql { plan, options } => {
+        RequestKind::Sql { plan, options, .. } => {
             rexa_sql::execute_streaming(&service.mgr, plan, &options.config, &ctx, &consumer)?.run
         }
     };

@@ -74,5 +74,5 @@ pub use catalog::{Catalog, CatalogTable, TableData};
 pub use error::{Span, SqlError};
 pub use exec::{execute_streaming, SqlStats};
 pub use parser::parse;
-pub use plan::{bind, plan, PhysicalPlan, Predicate, SortKey};
+pub use plan::{bind, plan, plan_traced, PhysicalPlan, Predicate, SortKey};
 pub use token::tokenize;

@@ -229,8 +229,37 @@ impl PhysicalPlan {
 
 /// Parse, bind, and lower `sql` against `catalog`.
 pub fn plan(sql: &str, catalog: &Catalog) -> Result<PhysicalPlan, SqlError> {
+    plan_traced(sql, catalog, None)
+}
+
+/// Like [`plan`], recording `parse`, `bind`, and enclosing `plan` timeline
+/// spans on an `sql` track when a span collector is supplied (the service
+/// passes its per-query collector so front-end time shows up on the same
+/// Perfetto timeline as execution).
+pub fn plan_traced(
+    sql: &str,
+    catalog: &Catalog,
+    spans: Option<&std::sync::Arc<rexa_obs::SpanCollector>>,
+) -> Result<PhysicalPlan, SqlError> {
+    use rexa_obs::span::{arg1, cat, NO_ARGS};
+    let sbuf = spans.map(|sc| sc.track("sql"));
+    let t_plan = sbuf.as_ref().map(|b| b.now_ns());
+    let t_parse = t_plan;
     let query = crate::parser::parse(sql)?;
-    bind(&query, catalog)
+    if let (Some(b), Some(t)) = (&sbuf, t_parse) {
+        b.complete("parse", cat::SQL, t, arg1("bytes", sql.len() as u64));
+    }
+    let t_bind = sbuf.as_ref().map(|b| b.now_ns());
+    let plan = bind(&query, catalog)?;
+    if let Some(b) = &sbuf {
+        if let Some(t) = t_bind {
+            b.complete("bind", cat::SQL, t, NO_ARGS);
+        }
+        if let Some(t) = t_plan {
+            b.complete("plan", cat::SQL, t, NO_ARGS);
+        }
+    }
+    Ok(plan)
 }
 
 /// Bind and lower an already-parsed query.

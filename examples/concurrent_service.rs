@@ -55,6 +55,7 @@ fn main() {
             pool_threads: 4,
             max_concurrent: 4,
             queue_bound: 16,
+            slow_query: None,
         },
     );
 

@@ -8,15 +8,42 @@
 //! ```sh
 //! cargo run --release -p rexa-core --example larger_than_memory
 //! ```
+//!
+//! With `--trace-out PATH` the run records a span timeline and writes it as
+//! Chrome trace-event JSON — open it in Perfetto (<https://ui.perfetto.dev>)
+//! or `about://tracing` to see the background spill writes and phase-2
+//! read-ahead overlapping the probe and merge tracks.
 
 use rexa_buffer::{BufferManager, BufferManagerConfig};
 use rexa_core::baselines::in_memory_aggregate;
-use rexa_core::{hash_aggregate_streaming, AggregateConfig, AggregateSpec, HashAggregatePlan};
+use rexa_core::{hash_aggregate_streaming_ctx, AggregateConfig, AggregateSpec, HashAggregatePlan};
 use rexa_exec::pipeline::{CancelToken, CollectionSource};
+use rexa_exec::pool::ExecContext;
 use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Vector, VECTOR_SIZE};
+use rexa_obs::SpanCollector;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 fn main() -> rexa_exec::Result<()> {
+    let mut trace_out: Option<String> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for --trace-out");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other} (options: --trace-out PATH)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
     // ~2M rows, every key unique (no reduction possible): the worst case for
     // aggregation memory.
     let rows: i64 = 2_000_000;
@@ -66,14 +93,23 @@ fn main() -> rexa_exec::Result<()> {
         ..Default::default()
     };
 
-    // Robust engine: streams all groups, spilling as needed.
+    // Robust engine: streams all groups, spilling as needed. With
+    // `--trace-out` a span collector rides along on the ExecContext; the
+    // operator, the workers, and the background I/O threads all record onto
+    // it, and the merged timeline lands in `stats.profile.timeline`.
+    let spans = trace_out.as_ref().map(|_| SpanCollector::new());
+    let mut ctx = ExecContext::new();
+    if let Some(sc) = &spans {
+        ctx = ctx.with_spans(Arc::clone(sc));
+    }
     let groups = AtomicUsize::new(0);
     let source = CollectionSource::new(&input);
     let start = std::time::Instant::now();
-    let stats = hash_aggregate_streaming(&mgr, &source, input.types(), &plan, &config, &|c| {
-        groups.fetch_add(c.len(), Ordering::Relaxed);
-        Ok(())
-    })?;
+    let stats =
+        hash_aggregate_streaming_ctx(&mgr, &source, input.types(), &plan, &config, &ctx, &|c| {
+            groups.fetch_add(c.len(), Ordering::Relaxed);
+            Ok(())
+        })?;
     println!(
         "robust engine: {} groups in {:.2?}; spilled {} MiB to temp storage, \
          {} temporary-page evictions, {} hash-table resets",
@@ -89,6 +125,11 @@ fn main() -> rexa_exec::Result<()> {
     // report for nonzero spill_bytes_written to pin the spill path down and
     // for nonzero readahead_hits to pin the phase-2 read-ahead down.
     println!("\n{}", stats.profile.render());
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, stats.profile.chrome_trace_json())?;
+        println!("\nwrote span timeline to {path} (open in https://ui.perfetto.dev)");
+    }
 
     // The in-memory baseline under the same limit: aborts.
     let source = CollectionSource::new(&input);

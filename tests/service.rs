@@ -110,6 +110,7 @@ fn four_concurrent_queries_under_single_query_limit() {
             pool_threads: 4,
             max_concurrent: 4,
             queue_bound: 16,
+            slow_query: None,
         },
     );
     let input = make_input(rows, rows); // all-distinct: heavy spilling
@@ -151,6 +152,7 @@ fn submit_past_bound_is_shed_with_typed_error() {
             pool_threads: 2,
             max_concurrent: 1,
             queue_bound: 2,
+            slow_query: None,
         },
     );
     let input = make_input(60_000, 60_000);
@@ -194,6 +196,7 @@ fn cancel_mid_spill_cleans_up_and_service_survives() {
             pool_threads: 2,
             max_concurrent: 2,
             queue_bound: 8,
+            slow_query: None,
         },
     );
     let input = make_input(200_000, 200_000);
@@ -249,6 +252,7 @@ fn deadline_expiry_is_typed() {
             pool_threads: 2,
             max_concurrent: 1,
             queue_bound: 8,
+            slow_query: None,
         },
     );
     let input = make_input(400_000, 400_000);
@@ -280,6 +284,7 @@ fn cancel_while_queued_never_launches() {
             pool_threads: 2,
             max_concurrent: 1,
             queue_bound: 8,
+            slow_query: None,
         },
     );
     // Occupy the only slot with a long query.
@@ -347,6 +352,7 @@ fn full_limit_footprints_never_spuriously_oom() {
             pool_threads: 2,
             max_concurrent: 4,
             queue_bound: 64,
+            slow_query: None,
         },
     );
     let input = make_input(5_000, 500);
@@ -374,6 +380,7 @@ fn drop_cancels_running_queries_without_deadlines() {
             pool_threads: 2,
             max_concurrent: 1,
             queue_bound: 8,
+            slow_query: None,
         },
     );
     // A long all-distinct query, deliberately without a deadline.
@@ -413,6 +420,7 @@ fn enospc_killed_query_is_isolated_from_concurrent_queries() {
             pool_threads: 4,
             max_concurrent: 2,
             queue_bound: 8,
+            slow_query: None,
         },
     );
 
@@ -515,6 +523,7 @@ fn injected_spill_latency_trips_deadline_and_counts_retries() {
             pool_threads: 2,
             max_concurrent: 1,
             queue_bound: 4,
+            slow_query: None,
         },
     );
 
@@ -597,6 +606,7 @@ fn shed_and_deadline_metrics_are_counted() {
             pool_threads: 2,
             max_concurrent: 1,
             queue_bound: 2,
+            slow_query: None,
         },
     );
     let input = make_input(60_000, 60_000);
@@ -727,4 +737,120 @@ fn service_results_are_correct() {
         }
     }
     assert_eq!(count0, Some(50)); // 50_000 / 1_000
+}
+
+/// The slow-query log: with a zero threshold every query is "slow", and
+/// the sink receives a structured record carrying the query summary,
+/// durations, and the execution profile's spill/reset/strategy facts.
+#[test]
+fn slow_query_log_emits_structured_records() {
+    let records: Arc<std::sync::Mutex<Vec<rexa_service::SlowQueryRecord>>> = Arc::default();
+    let sink_records = Arc::clone(&records);
+    let rows = 40_000;
+    let footprint = grouping_footprint(rows);
+    // Tight limit: the query spills, so the record carries real traffic.
+    let mgr = mgr_with(footprint + footprint / 2);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 2,
+            queue_bound: 8,
+            slow_query: Some(rexa_service::SlowQueryConfig::new(
+                Duration::ZERO,
+                move |r| sink_records.lock().unwrap().push(r.clone()),
+            )),
+        },
+    );
+    let input = make_input(rows, rows); // all-distinct: spills under the limit
+    let out = service
+        .submit(grouping_request(&input))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(out.stats.groups, rows);
+
+    let records = records.lock().unwrap();
+    assert_eq!(records.len(), 1, "exactly one query ran");
+    let r = &records[0];
+    assert_eq!(r.kind, "aggregate");
+    assert_eq!(r.summary, "HASH_AGGREGATE groups=1 aggregates=2");
+    assert_eq!(r.outcome, "ok");
+    assert!(r.duration > Duration::ZERO);
+    assert_eq!(r.spill_bytes, out.stats.profile.spill_bytes_written);
+    assert!(r.spill_bytes > 0, "tight limit must spill");
+    assert!(!r.strategy.is_empty());
+    let line = r.render();
+    for needle in [
+        "slow_query id=",
+        "kind=aggregate",
+        "outcome=ok",
+        "spill_bytes=",
+    ] {
+        assert!(line.contains(needle), "missing {needle:?} in {line:?}");
+    }
+}
+
+/// Off by default: no slow_query config, no sink calls — and a threshold
+/// above the query's duration stays silent too.
+#[test]
+fn slow_query_log_respects_threshold() {
+    let records: Arc<std::sync::Mutex<Vec<rexa_service::SlowQueryRecord>>> = Arc::default();
+    let sink_records = Arc::clone(&records);
+    let mgr = mgr_with(64 << 20);
+    let service = QueryService::new(
+        mgr,
+        ServiceConfig {
+            pool_threads: 2,
+            max_concurrent: 2,
+            queue_bound: 8,
+            slow_query: Some(rexa_service::SlowQueryConfig::new(
+                Duration::from_secs(3600),
+                move |r| sink_records.lock().unwrap().push(r.clone()),
+            )),
+        },
+    );
+    let input = make_input(10_000, 100);
+    service
+        .submit(grouping_request(&input))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(
+        records.lock().unwrap().is_empty(),
+        "sub-threshold query must not be logged"
+    );
+}
+
+/// Span tracing rides through the service: a traced spilling query comes
+/// back with a populated timeline whose tracks include the workers and the
+/// background I/O threads, and the Chrome export is non-trivial.
+#[test]
+fn traced_query_through_service_captures_io_spans() {
+    let rows = 40_000;
+    let footprint = grouping_footprint(rows);
+    let mgr = mgr_with(footprint + footprint / 2);
+    let service = QueryService::with_defaults(mgr);
+    let input = make_input(rows, rows);
+    let spans = rexa_obs::SpanCollector::new();
+    let mut request = grouping_request(&input);
+    request.options.spans = Some(Arc::clone(&spans));
+    let out = service.submit(request).unwrap().wait().unwrap();
+    assert_eq!(out.stats.groups, rows);
+
+    let timeline = &out.stats.profile.timeline;
+    assert!(!timeline.is_empty(), "traced run produced no spans");
+    let has = |needle: &str| timeline.tracks.iter().any(|t| t.contains(needle));
+    assert!(has("service"), "tracks: {:?}", timeline.tracks);
+    assert!(has("coordinator"), "tracks: {:?}", timeline.tracks);
+    assert!(has("worker"), "tracks: {:?}", timeline.tracks);
+    let names: Vec<&str> = timeline.spans.iter().map(|s| s.name).collect();
+    for needle in ["queue_wait", "probe", "merge", "finalize", "phase 1"] {
+        assert!(names.contains(&needle), "missing span {needle:?}");
+    }
+    // The export must be loadable Chrome trace JSON with named tracks
+    // (async I/O spans additionally appear when background writers ran).
+    let json = out.stats.profile.chrome_trace_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"thread_name\""));
 }
