@@ -28,23 +28,39 @@ MEASUREMENT_KEYS = {
 # rep's QueryProfile (rexa-obs).
 PROFILE_KEYS = {
     "probe_busy_secs": float,
+    "sort_busy_secs": float,
     "merge_busy_secs": float,
     "finalize_busy_secs": float,
     "ht_resets": int,
     "partitions": int,
     "partitions_external": int,
+    "sorted_runs": int,
+    "merge_fanin": int,
     "spill_bytes_written": int,
     "spill_bytes_read": int,
     "evictions": int,
     "readahead_hits": int,
     "readahead_misses": int,
     "io_overlap_secs": float,
-    # Phase-1 strategy the run settled on: "thread_local", "shared", or an
-    # "adaptive:"-prefixed form recording the runtime decision.
+    # Phase-1 strategy the run settled on: "thread_local", "shared",
+    # "instream", or an "adaptive:"-prefixed form recording the runtime
+    # decision.
     "strategy": str,
+    # Per-partition phase-2 routing (one entry per merged partition).
+    "partition_strategies": list,
     # Per-worker phase-1 attribution (one entry per worker thread).
     "workers": list,
 }
+
+# One entry of profile.partition_strategies: what the per-partition phase-2
+# chooser decided and the sorted-run shape it saw.
+PARTITION_STRATEGY_KEYS = {
+    "partition": int,
+    "strategy": str,
+    "sorted_runs": int,
+    "merge_fanin": int,
+}
+PARTITION_STRATEGIES = {"hash", "sorted_merge"}
 
 # One entry of profile.workers: where phase-1 time and work actually went.
 WORKER_KEYS = {
@@ -55,9 +71,21 @@ WORKER_KEYS = {
     "ht_resets": int,
 }
 
-# Kernel-comparison workloads carry scalar/vectorized measurements; the
-# "external" workload compares sync vs async I/O scheduling instead.
-EXPECTED_WORKLOADS = ["thin_int", "wide_multi_key", "string_key", "external"]
+# Each workload carries two measurement modes and a scale-free ratio
+# between them: the kernel-comparison workloads compare scalar vs
+# vectorized, "sorted"/"clustered" compare a forced hash phase 1 against
+# the in-stream fast path (forced / detected), "external" compares sync vs
+# async I/O scheduling, and "external_sorted" compares the forced hash
+# phase 2 against the sorted-run merge.
+EXPECTED_WORKLOADS = {
+    "thin_int": (("scalar", "vectorized"), "phase1_speedup"),
+    "wide_multi_key": (("scalar", "vectorized"), "phase1_speedup"),
+    "string_key": (("scalar", "vectorized"), "phase1_speedup"),
+    "sorted": (("hash", "instream"), "instream_speedup"),
+    "clustered": (("hash", "detect"), "detect_speedup"),
+    "external": (("sync", "async"), "io_speedup"),
+    "external_sorted": (("hash", "sorted_merge"), "merge_speedup"),
+}
 
 # The threads_sweep section (optional: present when the baseline was
 # produced with --threads-sweep) carries these workloads, in order; thin_int
@@ -104,6 +132,13 @@ def check_measurement(m, where):
         check_keys(w, WORKER_KEYS, f"{where}.profile.workers[{i}]")
     if [w["worker"] for w in workers] != list(range(len(workers))):
         fail(f"{where}.profile.workers: indices not dense 0..{len(workers) - 1}")
+    for i, p in enumerate(m["profile"]["partition_strategies"]):
+        pw = f"{where}.profile.partition_strategies[{i}]"
+        check_keys(p, PARTITION_STRATEGY_KEYS, pw)
+        if p["strategy"] not in PARTITION_STRATEGIES:
+            fail(f"{pw}.strategy: unknown strategy {p['strategy']!r}")
+        if p["strategy"] == "sorted_merge" and p["merge_fanin"] == 0:
+            fail(f"{pw}: sorted_merge with zero merge_fanin")
 
 
 def check_threads_sweep(sweep):
@@ -156,16 +191,15 @@ def main():
     if not isinstance(workloads, list):
         fail("workloads: expected array")
     names = [w.get("workload") for w in workloads]
-    if names != EXPECTED_WORKLOADS:
-        fail(f"workloads: expected {EXPECTED_WORKLOADS}, got {names}")
+    if names != list(EXPECTED_WORKLOADS):
+        fail(f"workloads: expected {list(EXPECTED_WORKLOADS)}, got {names}")
 
     for w in workloads:
         name = w["workload"]
         for key in ("rows", "groups"):
             if not isinstance(w.get(key), int) or w[key] <= 0:
                 fail(f"{name}.{key}: expected positive integer, got {w.get(key)!r}")
-        modes = ("sync", "async") if name == "external" else ("scalar", "vectorized")
-        speedup_key = "io_speedup" if name == "external" else "phase1_speedup"
+        modes, speedup_key = EXPECTED_WORKLOADS[name]
         for mode in modes:
             if mode not in w:
                 fail(f"{name}: missing {mode!r} measurement")

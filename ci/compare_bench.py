@@ -37,13 +37,19 @@ MODES = {
     "thin_int": ("scalar", "vectorized"),
     "wide_multi_key": ("scalar", "vectorized"),
     "string_key": ("scalar", "vectorized"),
+    "sorted": ("hash", "instream"),
+    "clustered": ("hash", "detect"),
     "external": ("sync", "async"),
+    "external_sorted": ("hash", "sorted_merge"),
 }
 RATIO_KEYS = {
     "thin_int": "phase1_speedup",
     "wide_multi_key": "phase1_speedup",
     "string_key": "phase1_speedup",
+    "sorted": "instream_speedup",
+    "clustered": "detect_speedup",
     "external": "io_speedup",
+    "external_sorted": "merge_speedup",
 }
 
 

@@ -16,7 +16,6 @@ use rexa_buffer::BufferManager;
 use rexa_exec::pipeline::{CancelToken, ChunkSource};
 use rexa_exec::{DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
@@ -80,26 +79,45 @@ impl RunReader {
     }
 }
 
-/// Heap entry ordering: smallest key first (min-heap via reversed compare).
-struct HeapEntry {
-    reader_idx: usize,
-    key_snapshot: Vec<u8>,
+/// The one sort used everywhere a run is ordered (run generation and the
+/// single-run in-memory path): unstable by serialized key bytes. Keeping it
+/// a single kernel keeps the baseline honest — every path pays exactly this
+/// comparator, once per run.
+fn sort_run(records: &mut [Record]) {
+    records.sort_unstable_by(|a, b| a.key().cmp(b.key()));
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.key_snapshot == other.key_snapshot
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.key_snapshot.cmp(&self.key_snapshot) // reversed: min-heap
+/// Restore the min-heap property at `i` for a heap of reader indices,
+/// ordered by each reader's *current* record key (peek-based: no key is
+/// copied out of the readers; ties break on reader index so the merge is
+/// deterministic).
+fn sift_down_readers(heap: &mut [usize], mut i: usize, readers: &[RunReader]) {
+    let key = |idx: usize| -> &[u8] {
+        readers[idx]
+            .current
+            .as_ref()
+            .expect("heaped readers have a record")
+            .key()
+    };
+    let before = |a: usize, b: usize| match key(a).cmp(key(b)) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a < b,
+    };
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut best = i;
+        if l < heap.len() && before(heap[l], heap[best]) {
+            best = l;
+        }
+        if r < heap.len() && before(heap[r], heap[best]) {
+            best = r;
+        }
+        if best == i {
+            return;
+        }
+        heap.swap(i, best);
+        i = best;
     }
 }
 
@@ -154,7 +172,7 @@ pub fn sort_aggregate(
         if buffer.is_empty() {
             return Ok(());
         }
-        buffer.sort_unstable_by(|a, b| a.key().cmp(b.key()));
+        sort_run(buffer);
         let path = run_dir.join(format!("run-{}.bin", run_paths.len()));
         let mut w = RunWriter {
             file: BufWriter::new(File::create(&path)?),
@@ -251,7 +269,7 @@ pub fn sort_aggregate(
     if run_paths.is_empty() {
         // Everything fit in one buffered run: sort + aggregate in memory
         // (still the O(n log n) algorithm, just without the I/O).
-        buffer.sort_unstable_by(|a, b| a.key().cmp(b.key()));
+        sort_run(&mut buffer);
         let mut cur_key: Option<Vec<u8>> = None;
         let mut states = new_states(&aggs);
         for rec in &buffer {
@@ -287,24 +305,24 @@ pub fn sort_aggregate(
                 Ok(r)
             })
             .collect::<Result<_>>()?;
-        let mut heap = BinaryHeap::new();
-        for (idx, r) in readers.iter().enumerate() {
-            if let Some(rec) = &r.current {
-                heap.push(HeapEntry {
-                    reader_idx: idx,
-                    key_snapshot: rec.key().to_vec(),
-                });
-            }
+        // Peek-based merge: the heap holds reader indices and compares the
+        // readers' current records in place — no per-record key copies.
+        let mut heap: Vec<usize> = (0..readers.len())
+            .filter(|&i| readers[i].current.is_some())
+            .collect();
+        for i in (0..heap.len() / 2).rev() {
+            sift_down_readers(&mut heap, i, &readers);
         }
         let mut cur_key: Option<Vec<u8>> = None;
         let mut states = new_states(&aggs);
         let mut processed = 0u64;
-        while let Some(top) = heap.pop() {
+        while !heap.is_empty() {
             processed += 1;
             if processed.is_multiple_of(4096) {
                 cancel.check()?;
             }
-            let reader = &mut readers[top.reader_idx];
+            let top = heap[0];
+            let reader = &mut readers[top];
             let rec = reader.current.take().expect("heap entry has a record");
             if cur_key.as_deref() != Some(rec.key()) {
                 if let Some(k) = cur_key.take() {
@@ -319,11 +337,13 @@ pub fn sort_aggregate(
             }
             update_states(&mut states, &aggs, rec.args())?;
             reader.advance()?;
-            if let Some(next) = &reader.current {
-                heap.push(HeapEntry {
-                    reader_idx: top.reader_idx,
-                    key_snapshot: next.key().to_vec(),
-                });
+            if readers[top].current.is_none() {
+                let last = heap.len() - 1;
+                heap.swap(0, last);
+                heap.pop();
+            }
+            if !heap.is_empty() {
+                sift_down_readers(&mut heap, 0, &readers);
             }
         }
         if let Some(k) = cur_key {

@@ -27,6 +27,7 @@
 pub mod baselines;
 pub mod function;
 pub mod ht;
+mod instream;
 pub mod join;
 pub mod kernel;
 pub mod operator;
@@ -38,6 +39,7 @@ pub use join::{hash_join_collect, hash_join_streaming, HashJoinPlan, JoinConfig,
 pub use kernel::AggKernels;
 pub use operator::{
     hash_aggregate_collect, hash_aggregate_streaming, hash_aggregate_streaming_ctx, output_schema,
-    plan_row_width, AggregateConfig, HashAggregatePlan, KernelMode, Phase1Strategy, RunStats,
+    plan_row_width, AggregateConfig, HashAggregatePlan, KernelMode, Phase1Strategy, Phase2Strategy,
+    RunStats, SortedInput,
 };
 pub use ungrouped::ungrouped_aggregate;

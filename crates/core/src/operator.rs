@@ -29,13 +29,17 @@ use crate::ht::{
     entry_ptr, is_pending, make_entry, make_pending, pending_ord, prefetch_read, salt_bits,
     SaltedHashTable, SharedGroupIndex,
 };
+use crate::instream::InStreamAgg;
 use parking_lot::{Condvar, Mutex};
 use rexa_buffer::{BufferManager, BufferStats};
 use rexa_exec::pipeline::ChunkSource;
 use rexa_exec::pool::ExecContext;
 use rexa_exec::vector::VectorData;
 use rexa_exec::{hashing, DataChunk, Error, LogicalType, Result, Vector, VECTOR_SIZE};
-use rexa_layout::matcher::{row_row_match, row_row_match_sel, rows_match, rows_match_sel};
+use rexa_layout::matcher::{
+    adjacent_runs, key_prefix, prefix_is_exact, row_row_cmp, row_row_match, row_row_match_sel,
+    rows_match, rows_match_sel,
+};
 use rexa_layout::{PartitionedTupleData, TupleDataCollection, TupleDataLayout};
 use rexa_obs::span::{self, cat as span_cat};
 use rexa_obs::{Phase, ProfileCollector, QueryProfile, SpanBuffer};
@@ -68,6 +72,48 @@ pub enum KernelMode {
     Vectorized,
     /// The original row-at-a-time interpreted path.
     Scalar,
+}
+
+/// Whether the grouping keys arrive (mostly) sorted, which routes phase 1
+/// through the in-stream aggregator (`crate::instream`): compare to the
+/// previous key, accumulate, open a new group on key change — no hash
+/// table and no per-row probe.
+///
+/// The in-stream path is correct on *any* input (keys that regress just
+/// open another partial group for phase 2 to merge by key), so the hint is
+/// about performance, never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortedInput {
+    /// Sample key runs in each worker's first chunks and switch to the
+    /// in-stream path when the input looks clustered (average run length
+    /// of at least [`IN_STREAM_RUN_MIN`]).
+    #[default]
+    Detect,
+    /// Assert sorted/clustered keys: in-stream from the first row. Plumbed
+    /// from SQL scans over tables that declare a compatible sort order.
+    Sorted,
+    /// Never take the in-stream path.
+    Unsorted,
+}
+
+/// How phase 2 aggregates one partition — chosen *per partition* at
+/// runtime, recorded per partition in the profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase2Strategy {
+    /// Merge sorted runs when the partition went external and its rows are
+    /// fully covered by sorted runs; rebuild a hash table otherwise (an
+    /// in-memory partition gains nothing from merging, and a coverage gap
+    /// means some rows were never run-sorted).
+    #[default]
+    Adaptive,
+    /// Always rebuild a hash table over the partition (the paper's
+    /// phase 2).
+    Hash,
+    /// Sort every fragment's rows by key before its pins are released
+    /// (making the spill write-out a *sorted run*) and stream-merge the
+    /// runs in phase 2. Degrades to the hash path per partition when runs
+    /// are unavailable or a spill fault was observed mid-run.
+    SortedMerge,
 }
 
 /// How phase 1 organizes its hash table(s) across workers.
@@ -122,6 +168,12 @@ pub struct AggregateConfig {
     /// Phase-1 table organization (see [`Phase1Strategy`]). The decision a
     /// run actually took is recorded in the profile's `strategy` field.
     pub phase1_strategy: Phase1Strategy,
+    /// Sorted-input handling for the in-stream fast path (see
+    /// [`SortedInput`]).
+    pub sorted_input: SortedInput,
+    /// Phase-2 per-partition strategy (see [`Phase2Strategy`]); decisions
+    /// are recorded in the profile's per-partition strategy list.
+    pub phase2_strategy: Phase2Strategy,
 }
 
 impl Default for AggregateConfig {
@@ -137,6 +189,8 @@ impl Default for AggregateConfig {
             kernel_mode: KernelMode::Vectorized,
             readahead_depth: 2,
             phase1_strategy: Phase1Strategy::Adaptive,
+            sorted_input: SortedInput::Detect,
+            phase2_strategy: Phase2Strategy::Adaptive,
         }
     }
 }
@@ -304,6 +358,14 @@ const SHARED_DENSITY_MIN: usize = 8;
 /// (a mild underestimate must not immediately overflow; a large one
 /// overflows and falls back, which is safe — overflow rows merge by key).
 const SHARED_HEADROOM: usize = 4;
+/// [`SortedInput::Detect`]: minimum average run length (sampled rows per
+/// adjacent-equal-key run) for a worker to switch to the in-stream path.
+/// Below this, per-run materialization appends too many partial groups —
+/// phase 2 then combines several partials per group, and the per-run
+/// bookkeeping eats the probe savings. Measured break-even on thin integer
+/// keys sits near run length 13 (`agg_hotpath`'s `clustered` workload), so
+/// the detector demands clear headroom before abandoning the hash table.
+pub const IN_STREAM_RUN_MIN: usize = 16;
 
 /// Phase-1 state of the shared ("global table") strategy.
 struct SharedPhase1 {
@@ -335,7 +397,13 @@ struct AggSink<'a> {
 impl AggSink<'_> {
     /// Create the thread-local state for one worker.
     fn local(&self) -> Result<LocalAgg<'_>> {
-        Ok(LocalAgg {
+        // A forced SortedMerge sorts run tails regardless of the phase-1
+        // path; Adaptive only pays for run-sorting once the in-stream path
+        // engages (sorted input is what makes runs long and cheap). String
+        // layouts never run-sort — permuting rows would break heap
+        // pointers.
+        let heapless = self.plan.layout.var_cols().is_empty();
+        let mut local = LocalAgg {
             sink: self,
             ht: SaltedHashTable::with_capacity_ctx(self.mgr, self.config.ht_capacity, self.ctx)?,
             data: PartitionedTupleData::new(self.mgr, &self.plan.layout, self.radix_bits),
@@ -345,9 +413,19 @@ impl AggSink<'_> {
             pending_slots: Vec::new(),
             scratch: ProbeScratch::default(),
             shared_mode: None,
+            instream: None,
+            detect_rows: 0,
+            detect_runs: 0,
+            run_sort: heapless && self.config.phase2_strategy == Phase2Strategy::SortedMerge,
+            sort_busy: Duration::ZERO,
+            runs_sealed: 0,
             rows_in: 0,
             resets: 0,
-        })
+        };
+        if self.config.sorted_input == SortedInput::Sorted {
+            local.enable_instream();
+        }
+        Ok(local)
     }
 
     /// Install the shared-strategy state (index + canonical partition set)
@@ -429,6 +507,8 @@ struct ProbeScratch {
     row_ptrs: Vec<*mut u8>,
     /// Rows whose `row_ptrs` entry is a tagged ordinal to patch.
     pending_rows: Vec<u32>,
+    /// Sortedness-detector scratch: run starts of the sampled chunk.
+    run_starts: Vec<u32>,
     /// Reused `&Vector` buffers (lifetimes are per-chunk; the vectors are
     /// stored erased and only ever transmuted while *empty*).
     group_views: Vec<&'static Vector>,
@@ -498,6 +578,17 @@ struct LocalAgg<'a> {
     scratch: ProbeScratch,
     /// `Some` once this worker switched to the shared strategy.
     shared_mode: Option<SharedLocal>,
+    /// `Some` once this worker switched to the in-stream fast path (forced
+    /// by [`SortedInput::Sorted`] or chosen by the sortedness detector).
+    instream: Option<InStreamAgg>,
+    /// Sortedness detector sample ([`SortedInput::Detect`]).
+    detect_rows: usize,
+    detect_runs: usize,
+    /// Sort fragment tails into runs at every pin release (the sorted-run
+    /// spill path; requires a heapless layout).
+    run_sort: bool,
+    sort_busy: Duration,
+    runs_sealed: u64,
     rows_in: usize,
     resets: u64,
 }
@@ -766,18 +857,44 @@ impl LocalAgg<'_> {
         let mut group_views = ProbeScratch::take_views(&mut self.scratch.group_views);
         group_views.extend(plan.group_cols.iter().map(|&c| chunk.column(c)));
 
-        // Hash the group columns once; the hash is materialized in the row
-        // and reused by phase 2.
-        self.hashes.clear();
-        self.hashes.resize(n, 0);
-        for (ci, col) in group_views.iter().enumerate() {
-            hashing::hash_vector(col, &mut self.hashes, ci > 0);
+        // Sortedness detector ([`SortedInput::Detect`]): sample the
+        // adjacent-run density of the first chunks; when runs average
+        // [`IN_STREAM_RUN_MIN`] rows or longer, switch this worker to the
+        // in-stream path (the current chunk included). The sample is the
+        // same size as the phase-1 strategy sample, and the detector fires
+        // one chunk earlier, so a sorted dense input prefers in-stream over
+        // the shared index.
+        if self.instream.is_none()
+            && self.shared_mode.is_none()
+            && self.sink.config.sorted_input == SortedInput::Detect
+            && self.detect_rows < STRATEGY_SAMPLE_ROWS
+        {
+            adjacent_runs(&group_views, n, &mut self.scratch.run_starts);
+            self.detect_rows += n;
+            self.detect_runs += self.scratch.run_starts.len();
+            if self.detect_rows >= STRATEGY_SAMPLE_ROWS
+                && self.detect_runs * IN_STREAM_RUN_MIN <= self.detect_rows
+            {
+                self.enable_instream();
+            }
         }
 
-        let res = if self.shared_mode.is_some() {
-            self.sink_shared(chunk, &group_views, n)
+        let res = if self.instream.is_some() {
+            self.sink_instream(chunk, &group_views, n)
         } else {
-            self.sink_local(chunk, &group_views, n)
+            // Hash the group columns once; the hash is materialized in the
+            // row and reused by phase 2. (The in-stream path hashes inside
+            // `sink_chunk` — only run starts on the common key shape.)
+            self.hashes.clear();
+            self.hashes.resize(n, 0);
+            for (ci, col) in group_views.iter().enumerate() {
+                hashing::hash_vector(col, &mut self.hashes, ci > 0);
+            }
+            if self.shared_mode.is_some() {
+                self.sink_shared(chunk, &group_views, n)
+            } else {
+                self.sink_local(chunk, &group_views, n)
+            }
         };
         ProbeScratch::put_views(&mut self.scratch.group_views, group_views);
         res?;
@@ -791,6 +908,11 @@ impl LocalAgg<'_> {
     /// thread-local path permanently — rows already routed through the
     /// index merge by key in phase 2 regardless.
     fn check_strategy(&mut self) {
+        if self.instream.is_some() {
+            // The in-stream path is a per-worker commitment; the run-wide
+            // strategy was settled to thread-local when it engaged.
+            return;
+        }
         if let Some(sl) = &self.shared_mode {
             if sl.sp.index.overflowed() {
                 self.shared_mode = None;
@@ -813,6 +935,80 @@ impl LocalAgg<'_> {
             }
             _ => {}
         }
+    }
+
+    /// Switch this worker to the in-stream fast path. Settle the run-wide
+    /// strategy first (a later settle would overwrite the profile label),
+    /// then record the route. Rows already probed into the local table stay
+    /// in its fragments — phase 2 merges them by key. Under an Adaptive
+    /// phase-2 strategy the switch also turns on run-sorting: sorted input
+    /// is exactly what makes sealed runs long and the permute cheap.
+    fn enable_instream(&mut self) {
+        self.sink.settle_local();
+        if let Some(p) = self.sink.ctx.profile() {
+            p.set_strategy("instream");
+        }
+        if self.sink.plan.layout.var_cols().is_empty()
+            && self.sink.config.phase2_strategy != Phase2Strategy::Hash
+        {
+            self.run_sort = true;
+        }
+        self.instream = Some(InStreamAgg::new());
+    }
+
+    /// In-stream (sorted-input) chunk path — see [`crate::instream`].
+    fn sink_instream(
+        &mut self,
+        chunk: &DataChunk,
+        group_views: &[&Vector],
+        n: usize,
+    ) -> Result<()> {
+        let plan = self.sink.plan;
+        let mut layout_views = ProbeScratch::take_views(&mut self.scratch.layout_views);
+        layout_views.extend_from_slice(group_views);
+        for &c in &plan.payload_args {
+            layout_views.push(chunk.column(c));
+        }
+        let is = self.instream.as_mut().expect("instream checked");
+        let res = is.sink_chunk(
+            &plan.layout,
+            &plan.state_aggs,
+            self.sink.config.kernel_mode,
+            chunk,
+            group_views,
+            &layout_views,
+            &mut self.hashes,
+            &mut self.data,
+        );
+        ProbeScratch::put_views(&mut self.scratch.layout_views, layout_views);
+        res?;
+        let _ = n;
+        // Same memory-epoch budget as the hash path's reset threshold: once
+        // this epoch has materialized as many group rows as a reset-full
+        // hash table would hold, seal the epoch so its pages become
+        // spillable. (The hash table itself is idle on this path.)
+        let appended = self.instream.as_ref().expect("instream checked").appended();
+        if appended * 100 >= self.ht.capacity() * self.sink.config.reset_fill_percent as usize {
+            self.seal_epoch();
+        }
+        Ok(())
+    }
+
+    /// End one memory epoch: optionally seal the partitions' unsealed tails
+    /// as sorted runs, then release the append pins (pages become
+    /// spillable) and clear the probe table.
+    fn seal_epoch(&mut self) {
+        if self.run_sort {
+            let t = Instant::now();
+            self.runs_sealed += self.data.seal_sorted_runs(self.sink.plan.key_cols);
+            self.sort_busy += t.elapsed();
+        }
+        if let Some(is) = &mut self.instream {
+            is.on_release();
+        }
+        self.ht.reset();
+        self.data.release_pins();
+        self.resets += 1;
     }
 
     /// Adopt the installed shared state. Whatever this worker's local table
@@ -910,9 +1106,7 @@ impl LocalAgg<'_> {
         // Reset when two-thirds full: clear the entry array (cheap), unpin
         // the partition pages (they become spillable).
         if self.should_reset() {
-            self.ht.reset();
-            self.data.release_pins();
-            self.resets += 1;
+            self.seal_epoch();
         }
         Ok(())
     }
@@ -1102,6 +1296,8 @@ fn finalize_partition(
     mgr: &Arc<BufferManager>,
     config: &AggregateConfig,
     ctx: &ExecContext,
+    partition_idx: usize,
+    spill_retry_baseline: u64,
     mut part: TupleDataCollection,
     consumer: &(dyn Fn(DataChunk) -> Result<()> + Sync),
     groups_out: &AtomicUsize,
@@ -1113,8 +1309,9 @@ fn finalize_partition(
     // A partition with evicted pages "went external": pinning it back below
     // reads those bytes from the spill files. Recorded before the pins so
     // the profile reflects where the partition *was*, not where it ends up.
+    let external = part.unloaded_bytes() > 0;
     if let Some(profile) = ctx.profile() {
-        if part.unloaded_bytes() > 0 {
+        if external {
             profile.add_partitions_external(1);
         }
     }
@@ -1125,17 +1322,138 @@ fn finalize_partition(
     ctx.spend_grant(part.data_bytes());
     let pins = part.pin_all()?;
     let layout = &plan.layout;
-    let cap = (part.rows() * 2).next_power_of_two().max(1024);
-    let mut ht = SaltedHashTable::with_capacity_ctx(mgr, cap, ctx)?;
+
+    // Per-partition merge strategy. The sorted merge is eligible only when
+    // the sealed runs tile the whole partition (an unsealed tail or a
+    // combined unsorted fragment disqualifies it), the layout is heapless,
+    // and no spill write was retried since the operator started — a retried
+    // write means the fault-injection (or a flaky device) touched the spill
+    // path, and re-hashing is the robust degradation. Adaptive additionally
+    // requires the partition to have gone external: in memory, the hash
+    // rebuild is cheap and the run seals were free to skip.
+    let runs: Vec<(usize, usize)> = part.sorted_runs().to_vec();
+    let spill_clean = mgr.stats().spill_retries == spill_retry_baseline;
+    let sorted_ok = !runs.is_empty()
+        && part.runs_cover_all_rows()
+        && layout.var_cols().is_empty()
+        && spill_clean;
+    let use_sorted = match config.phase2_strategy {
+        Phase2Strategy::Hash => false,
+        Phase2Strategy::SortedMerge => sorted_ok,
+        Phase2Strategy::Adaptive => sorted_ok && external,
+    };
+    if let Some(profile) = ctx.profile() {
+        profile.record_partition_merge(
+            partition_idx,
+            if use_sorted { "sorted_merge" } else { "hash" },
+            runs.len() as u64,
+            if use_sorted { runs.len() as u64 } else { 0 },
+        );
+    }
+
     let mut live: Vec<*mut u8> = Vec::new();
     let mut ptrs: Vec<*mut u8> = Vec::new();
+    if use_sorted {
+        merge_sorted_runs(
+            plan,
+            config,
+            ctx,
+            partition_idx,
+            &part,
+            &pins,
+            &runs,
+            &mut live,
+            &mut ptrs,
+            sbuf,
+        )?;
+    } else {
+        finalize_hash_dedup(plan, mgr, config, ctx, &part, &pins, &mut live, &mut ptrs)?;
+    }
+
+    // Emit the surviving groups ("fully aggregated partitions are
+    // immediately scanned" — pushed to the consumer, then freed).
+    let t_emit = Instant::now();
+    let t_emit_ns = sbuf.map(|b| b.now_ns());
+    for batch in live.chunks(config.output_chunk_size.max(1)) {
+        ctx.check_cancelled()?;
+        // SAFETY: batch pointers come from this collection under `pins`.
+        let gathered = unsafe { part.gather(batch) };
+        let mut columns: Vec<Vector> = gathered.columns()[..plan.key_cols].to_vec();
+        for slot in &plan.out_slots {
+            match slot {
+                OutSlot::Payload(p) => columns.push(gathered.column(plan.key_cols + p).clone()),
+                OutSlot::State(s) => {
+                    let agg = &plan.state_aggs[*s];
+                    let off = layout.aggr_offset(*s);
+                    match config.kernel_mode {
+                        KernelMode::Scalar => {
+                            let mut col = Vector::empty(agg.output_type);
+                            for &row in batch {
+                                // SAFETY: as above.
+                                let v = unsafe { finalize_state(agg, row.add(off)) };
+                                col.push_value(&v)?;
+                            }
+                            columns.push(col);
+                        }
+                        KernelMode::Vectorized => {
+                            let states: Vec<*const u8> = batch
+                                .iter()
+                                .map(|&row| unsafe { row.add(off) as *const u8 })
+                                .collect();
+                            // SAFETY: as above; the kernel writes the output
+                            // vector directly, skipping boxed Values.
+                            columns.push(unsafe { (agg.kernels.finalize)(&states) });
+                        }
+                    }
+                }
+            }
+        }
+        consumer(DataChunk::new(columns))?;
+    }
+    if let (Some(b), Some(t)) = (sbuf, t_emit_ns) {
+        b.complete(
+            "finalize",
+            span_cat::COMPUTE,
+            t,
+            span::arg1("groups", live.len() as u64),
+        );
+    }
+    if let Some(profile) = ctx.profile() {
+        // The emit share of this task's time: phase-2 busy (credited to the
+        // merge phase by `parallel_for`) includes it; this split shows how
+        // much of it was spent gathering and streaming output.
+        profile.add_busy_to(Phase::Finalize, t_emit.elapsed());
+        profile.add_rows_out(live.len() as u64);
+    }
+    groups_out.fetch_add(live.len(), Ordering::Relaxed);
+    drop(pins);
+    drop(part); // eager destroy: memory or spill space released now
+    Ok(())
+}
+
+/// Phase-2 hash dedup (the default merge): rebuild a partition-local probe
+/// table over the pinned rows, combining duplicate groups by key.
+#[allow(clippy::too_many_arguments)]
+fn finalize_hash_dedup(
+    plan: &BoundPlan,
+    mgr: &Arc<BufferManager>,
+    config: &AggregateConfig,
+    ctx: &ExecContext,
+    part: &TupleDataCollection,
+    pins: &rexa_layout::CollectionPins,
+    live: &mut Vec<*mut u8>,
+    ptrs: &mut Vec<*mut u8>,
+) -> Result<()> {
+    let layout = &plan.layout;
+    let cap = (part.rows() * 2).next_power_of_two().max(1024);
+    let mut ht = SaltedHashTable::with_capacity_ctx(mgr, cap, ctx)?;
     match config.kernel_mode {
         KernelMode::Scalar => {
             for c in 0..part.chunk_count() {
                 ctx.check_cancelled()?;
                 ptrs.clear();
-                part.chunk_row_ptrs(&pins, c, &mut ptrs);
-                for &row in &ptrs {
+                part.chunk_row_ptrs(pins, c, ptrs);
+                for &row in ptrs.iter() {
                     // SAFETY: the partition is pinned and pointer-recomputed.
                     let h = unsafe { layout.read_hash(row) };
                     let mut slot = ht.slot(h);
@@ -1185,7 +1503,7 @@ fn finalize_partition(
             for c in 0..part.chunk_count() {
                 ctx.check_cancelled()?;
                 ptrs.clear();
-                part.chunk_row_ptrs(&pins, c, &mut ptrs);
+                part.chunk_row_ptrs(pins, c, ptrs);
                 let m = ptrs.len();
                 // SAFETY: the partition is pinned and pointer-recomputed.
                 hashes.clear();
@@ -1283,65 +1601,170 @@ fn finalize_partition(
             }
         }
     }
+    Ok(())
+}
 
-    // Emit the surviving groups ("fully aggregated partitions are
-    // immediately scanned" — pushed to the consumer, then freed).
-    let t_emit = Instant::now();
-    let t_emit_ns = sbuf.map(|b| b.now_ns());
-    for batch in live.chunks(config.output_chunk_size.max(1)) {
-        ctx.check_cancelled()?;
-        // SAFETY: batch pointers come from this collection under `pins`.
-        let gathered = unsafe { part.gather(batch) };
-        let mut columns: Vec<Vector> = gathered.columns()[..plan.key_cols].to_vec();
-        for slot in &plan.out_slots {
-            match slot {
-                OutSlot::Payload(p) => columns.push(gathered.column(plan.key_cols + p).clone()),
-                OutSlot::State(s) => {
-                    let agg = &plan.state_aggs[*s];
-                    let off = layout.aggr_offset(*s);
-                    match config.kernel_mode {
-                        KernelMode::Scalar => {
-                            let mut col = Vector::empty(agg.output_type);
-                            for &row in batch {
-                                // SAFETY: as above.
-                                let v = unsafe { finalize_state(agg, row.add(off)) };
-                                col.push_value(&v)?;
-                            }
-                            columns.push(col);
-                        }
-                        KernelMode::Vectorized => {
-                            let states: Vec<*const u8> = batch
-                                .iter()
-                                .map(|&row| unsafe { row.add(off) as *const u8 })
-                                .collect();
-                            // SAFETY: as above; the kernel writes the output
-                            // vector directly, skipping boxed Values.
-                            columns.push(unsafe { (agg.kernels.finalize)(&states) });
-                        }
-                    }
+/// Phase-2 sorted merge: a K-way streaming merge over the partition's
+/// sealed sorted runs. The first row of each key claims into `live`; every
+/// following equal row combines into it — duplicate groups dissolve without
+/// rebuilding a hash table, so the working set is the K run cursors instead
+/// of a probe table over all rows. Combines happen in merge order (scalar:
+/// immediately; vectorized: deferred into one batched kernel call per
+/// aggregate, same per-group order), and equal keys break ties on the run
+/// index, so the merge is deterministic.
+#[allow(clippy::too_many_arguments)]
+fn merge_sorted_runs(
+    plan: &BoundPlan,
+    config: &AggregateConfig,
+    ctx: &ExecContext,
+    partition_idx: usize,
+    part: &TupleDataCollection,
+    pins: &rexa_layout::CollectionPins,
+    runs: &[(usize, usize)],
+    live: &mut Vec<*mut u8>,
+    ptrs: &mut Vec<*mut u8>,
+    sbuf: Option<&SpanBuffer>,
+) -> Result<()> {
+    let layout = &plan.layout;
+    let t0 = sbuf.map(|b| b.now_ns());
+    // Row pointers in logical row order (chunk order), so run ranges index
+    // directly.
+    let mut all: Vec<*mut u8> = Vec::with_capacity(part.rows());
+    for c in 0..part.chunk_count() {
+        ptrs.clear();
+        part.chunk_row_ptrs(pins, c, ptrs);
+        all.extend_from_slice(ptrs);
+    }
+    debug_assert_eq!(all.len(), part.rows());
+
+    // Cursor = (pos, end, run index, key prefix of the row at pos) over
+    // `all`; a manual binary min-heap ordered by key bytes, run index
+    // breaking ties. The cached prefix settles most heap comparisons with
+    // one integer compare; a prefix tie falls back to the row comparator
+    // unless the prefix order is exact for this key layout (the common
+    // single fixed-width group column).
+    type Cursor = (usize, usize, usize, u128);
+    let exact = prefix_is_exact(layout, plan.key_cols);
+    let before = |a: &Cursor, b: &Cursor| -> bool {
+        match a.3.cmp(&b.3) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal if exact => a.2 < b.2,
+            std::cmp::Ordering::Equal => {
+                // SAFETY: all rows are pinned; only key bytes are read.
+                let c = unsafe { row_row_cmp(layout, plan.key_cols, all[a.0], all[b.0]) };
+                if c.is_eq() {
+                    a.2 < b.2
+                } else {
+                    c.is_lt()
                 }
             }
         }
-        consumer(DataChunk::new(columns))?;
+    };
+    fn sift_down<F: Fn(&(usize, usize, usize, u128), &(usize, usize, usize, u128)) -> bool>(
+        v: &mut [(usize, usize, usize, u128)],
+        mut i: usize,
+        before: &F,
+    ) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < v.len() && before(&v[l], &v[best]) {
+                best = l;
+            }
+            if r < v.len() && before(&v[r], &v[best]) {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            v.swap(i, best);
+            i = best;
+        }
     }
-    if let (Some(b), Some(t)) = (sbuf, t_emit_ns) {
+    let mut heap: Vec<Cursor> = runs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(_, len))| len > 0)
+        .map(|(k, &(start, len))| {
+            // SAFETY: run rows are pinned.
+            (start, start + len, k, unsafe {
+                key_prefix(layout, all[start])
+            })
+        })
+        .collect();
+    let fanin = heap.len() as u64;
+    for i in (0..heap.len() / 2).rev() {
+        sift_down(&mut heap, i, &before);
+    }
+
+    let mut current: *mut u8 = std::ptr::null_mut();
+    let mut current_prefix: u128 = 0;
+    let mut pairs: Vec<(*const u8, *mut u8)> = Vec::new();
+    let mut popped = 0usize;
+    while let Some(&(pos, end, _, prefix)) = heap.first() {
+        popped += 1;
+        if popped & 1023 == 0 {
+            ctx.check_cancelled()?;
+        }
+        let row = all[pos];
+        // Prefix mismatch rules the key out without touching row bytes; on
+        // a match the full comparator confirms unless the prefix is exact.
+        // SAFETY: both rows are pinned; only immutable key bytes are read.
+        let same_key = !current.is_null()
+            && prefix == current_prefix
+            && (exact || unsafe { row_row_match(layout, plan.key_cols, current, row) });
+        if same_key {
+            match config.kernel_mode {
+                KernelMode::Scalar => {
+                    for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+                        let off = layout.aggr_offset(sidx);
+                        // SAFETY: states are inside the rows.
+                        unsafe { combine_state(agg, row.add(off), current.add(off)) };
+                    }
+                }
+                KernelMode::Vectorized => pairs.push((row as *const u8, current)),
+            }
+        } else {
+            live.push(row);
+            current = row;
+            current_prefix = prefix;
+        }
+        // Advance this run's cursor (or retire it), then restore the heap.
+        if pos + 1 < end {
+            heap[0].0 = pos + 1;
+            // SAFETY: run rows are pinned.
+            heap[0].3 = unsafe { key_prefix(layout, all[pos + 1]) };
+        } else {
+            let last = heap.len() - 1;
+            heap.swap(0, last);
+            heap.pop();
+        }
+        if !heap.is_empty() {
+            sift_down(&mut heap, 0, &before);
+        }
+    }
+    if !pairs.is_empty() {
+        let mut state_pairs: Vec<(*const u8, *mut u8)> = Vec::new();
+        for (sidx, agg) in plan.state_aggs.iter().enumerate() {
+            let off = layout.aggr_offset(sidx);
+            state_pairs.clear();
+            state_pairs.extend(pairs.iter().map(|&(src, dst)| {
+                // SAFETY: states are inside the rows.
+                unsafe { (src.add(off), dst.add(off)) }
+            }));
+            // SAFETY: src/dst are distinct rows' states.
+            unsafe { (agg.kernels.combine)(&state_pairs) };
+        }
+    }
+    if let (Some(b), Some(t)) = (sbuf, t0) {
         b.complete(
-            "finalize",
+            "sorted_merge",
             span_cat::COMPUTE,
             t,
-            span::arg1("groups", live.len() as u64),
+            span::arg2("partition", partition_idx as u64, "fanin", fanin),
         );
     }
-    if let Some(profile) = ctx.profile() {
-        // The emit share of this task's time: phase-2 busy (credited to the
-        // merge phase by `parallel_for`) includes it; this split shows how
-        // much of it was spent gathering and streaming output.
-        profile.add_busy_to(Phase::Finalize, t_emit.elapsed());
-        profile.add_rows_out(live.len() as u64);
-    }
-    groups_out.fetch_add(live.len(), Ordering::Relaxed);
-    drop(pins);
-    drop(part); // eager destroy: memory or spill space released now
     Ok(())
 }
 
@@ -1511,8 +1934,35 @@ pub fn hash_aggregate_streaming_ctx(
         "phase-1 table must be at least 4x the vector size"
     );
     let bound = bind_plan(plan, input_schema)?;
+    // A source that knows its sort columns lets the operator assert the
+    // sorted-input fast path up front: when the grouping keys cover a
+    // prefix of the sort columns (any permutation of a sorted prefix
+    // arrives grouped), `Detect` is promoted to `Sorted` and the sampling
+    // phase is skipped.
+    let promoted;
+    let config = if config.sorted_input == SortedInput::Detect
+        && source.sorted_by().is_some_and(|sorted| {
+            !plan.group_cols.is_empty()
+                && plan.group_cols.len() <= sorted.len()
+                && plan
+                    .group_cols
+                    .iter()
+                    .all(|c| sorted[..plan.group_cols.len()].contains(c))
+        }) {
+        promoted = AggregateConfig {
+            sorted_input: SortedInput::Sorted,
+            ..config.clone()
+        };
+        &promoted
+    } else {
+        config
+    };
     let radix_bits = config.effective_radix_bits();
     let stats_before = mgr.stats();
+    // Spill-retry watermark: phase 2 degrades sorted merges to hash dedup
+    // when any spill write needed a retry during this run (see
+    // `finalize_partition`).
+    let spill_baseline = stats_before.spill_retries;
 
     // Every run collects a full profile: workers credit busy time and work
     // units to the collector's current phase, and the orchestration below
@@ -1644,6 +2094,25 @@ pub fn hash_aggregate_streaming_ctx(
             sink.resets.fetch_add(local.resets, Ordering::Relaxed);
             collector.record_worker_resets(wid, local.resets);
             probe_res?;
+            // Seal the unsealed partition tails as this worker's final
+            // sorted runs while the append pins are still held (sealing
+            // permutes row bytes in place, which needs the pages resident
+            // and exclusive).
+            if local.run_sort {
+                let t_sort = Instant::now();
+                let t_sort_ns = sbuf.as_ref().map(|b| b.now_ns());
+                let sealed = local.data.seal_sorted_runs(bound.key_cols);
+                local.runs_sealed += sealed;
+                if let Some(is) = &mut local.instream {
+                    is.on_release();
+                }
+                local.sort_busy += t_sort.elapsed();
+                if let (Some(b), Some(t)) = (&sbuf, t_sort_ns) {
+                    b.complete("run_sort", span_cat::COMPUTE, t, span::arg1("runs", sealed));
+                }
+            }
+            collector.add_busy_to(Phase::Sort, local.sort_busy);
+            collector.add_sorted_runs(local.runs_sealed);
             // The last worker out of the probe absorbs the shared
             // strategy's canonical rows (nobody key-compares against them
             // once probing is over), so they flush like any other
@@ -1795,6 +2264,8 @@ pub fn hash_aggregate_streaming_ctx(
                     mgr,
                     config,
                     ctx,
+                    p,
+                    spill_baseline,
                     part,
                     consumer,
                     &groups_out,
@@ -1827,6 +2298,7 @@ pub fn hash_aggregate_streaming_ctx(
         let phase2 = t0.elapsed().saturating_sub(phase1);
         collector.set_phase_wall(Phase::Probe, phase1);
         collector.set_phase_wall(Phase::Partition, Duration::ZERO);
+        collector.set_phase_wall(Phase::Sort, Duration::ZERO);
         collector.set_phase_wall(Phase::Merge, phase2);
         if let (Some(b), Some(t0n)) = (&cbuf, t0_ns) {
             // Phase lanes on the coordinator track: the wall-clock extent

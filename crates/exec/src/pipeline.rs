@@ -33,6 +33,15 @@ pub trait ChunkSource: Send + Sync {
     fn total_rows(&self) -> Option<usize> {
         None
     }
+
+    /// Column indices this source's rows arrive sorted by (lexicographic;
+    /// each worker's reader sees a non-interleaved subsequence), if known.
+    /// An aggregation whose grouping keys are a prefix of this list may
+    /// assert its sorted-input fast path instead of sampling. Default:
+    /// unknown.
+    fn sorted_by(&self) -> Option<&[usize]> {
+        None
+    }
 }
 
 /// A per-thread cursor over a [`ChunkSource`].

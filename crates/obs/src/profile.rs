@@ -16,22 +16,32 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Execution phases of the aggregation operator, in pipeline order.
+///
+/// [`Phase::ALL`] is the canonical render order (probe → partition → sort →
+/// merge → finalize); [`QueryProfile::render`] iterates it so phase rows
+/// never depend on which strategy touched which phase first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Phase 1: thread-local salted-table pre-aggregation over the input.
     Probe,
     /// Materializing overflow state into radix partitions and spilling.
     Partition,
+    /// Sorting spill-run tails by key before write-out (hybrid hash/sort
+    /// path only; zero when every partition merged through the hash path).
+    Sort,
     /// Phase 2: partition-wise merge of pre-aggregated state.
     Merge,
     /// Gather/emit of final group rows.
     Finalize,
 }
 
+pub const PHASE_COUNT: usize = 5;
+
 impl Phase {
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; PHASE_COUNT] = [
         Phase::Probe,
         Phase::Partition,
+        Phase::Sort,
         Phase::Merge,
         Phase::Finalize,
     ];
@@ -40,8 +50,9 @@ impl Phase {
         match self {
             Phase::Probe => 0,
             Phase::Partition => 1,
-            Phase::Merge => 2,
-            Phase::Finalize => 3,
+            Phase::Sort => 2,
+            Phase::Merge => 3,
+            Phase::Finalize => 4,
         }
     }
 
@@ -49,6 +60,7 @@ impl Phase {
         match self {
             Phase::Probe => "phase 1 · probe",
             Phase::Partition => "partition/spill",
+            Phase::Sort => "run sort",
             Phase::Merge => "phase 2 · merge",
             Phase::Finalize => "finalize/emit",
         }
@@ -93,6 +105,21 @@ pub struct WorkerProfile {
     pub ht_resets: u64,
 }
 
+/// Per-partition phase-2 decision of the hybrid hash/sort chooser: which
+/// merge strategy the partition ran, how many sorted runs its data carried,
+/// and the fan-in of the streaming merge (zero on the hash path).
+#[derive(Clone, Debug, Default)]
+pub struct PartitionMergeProfile {
+    /// Radix partition index.
+    pub partition: usize,
+    /// `"hash"` or `"sorted_merge"`.
+    pub strategy: String,
+    /// Sorted runs recorded for the partition's data at merge time.
+    pub sorted_runs: u64,
+    /// Runs merged by the streaming sorted merge (0 for the hash path).
+    pub merge_fanin: u64,
+}
+
 /// Immutable per-query execution profile. All counters are totals for the
 /// query; see [`ProfileCollector`] for how they are gathered.
 #[derive(Clone, Debug, Default)]
@@ -109,7 +136,7 @@ pub struct QueryProfile {
     /// End-to-end operator wall time.
     pub wall: Duration,
     /// Indexed by [`Phase::index`].
-    pub phases: [PhaseProfile; 4],
+    pub phases: [PhaseProfile; PHASE_COUNT],
     pub rows_in: u64,
     pub rows_out: u64,
     pub groups: u64,
@@ -120,6 +147,14 @@ pub struct QueryProfile {
     /// Partitions whose state had been evicted to disk and was read back
     /// during the merge ("gone external").
     pub partitions_external: u64,
+    /// Total sorted runs produced by the run-sort phase across partitions.
+    pub sorted_runs: u64,
+    /// Maximum fan-in any streaming sorted merge ran with (0 when every
+    /// partition took the hash path).
+    pub merge_fanin: u64,
+    /// Per-partition merge-strategy decisions, sorted by partition index.
+    /// Empty when the operator recorded none (e.g. empty input).
+    pub partition_merges: Vec<PartitionMergeProfile>,
     pub spill_bytes_written: u64,
     pub spill_bytes_read: u64,
     pub spill_retries: u64,
@@ -199,6 +234,13 @@ impl QueryProfile {
                         self.partitions, self.partitions_external
                     );
                 }
+                Phase::Sort => {
+                    let _ = write!(
+                        out,
+                        "  sorted_runs {}  merge_fanin {}",
+                        self.sorted_runs, self.merge_fanin
+                    );
+                }
                 Phase::Merge => {
                     let _ = write!(out, "  partitions {}  groups {}", p.units, self.groups);
                 }
@@ -217,6 +259,26 @@ impl QueryProfile {
                         w.morsels,
                         w.chunks,
                         w.ht_resets,
+                    );
+                }
+            }
+            if phase == Phase::Merge && !self.partition_merges.is_empty() {
+                let hash = self
+                    .partition_merges
+                    .iter()
+                    .filter(|m| m.strategy == "hash")
+                    .count();
+                let sorted = self.partition_merges.len() - hash;
+                let _ = writeln!(out, "│    strategies  hash {hash}  sorted_merge {sorted}");
+                for m in self
+                    .partition_merges
+                    .iter()
+                    .filter(|m| m.strategy != "hash")
+                {
+                    let _ = writeln!(
+                        out,
+                        "│    partition {}  {}  runs {}  fanin {}",
+                        m.partition, m.strategy, m.sorted_runs, m.merge_fanin,
                     );
                 }
             }
@@ -266,10 +328,10 @@ impl QueryProfile {
 #[derive(Default)]
 pub struct ProfileCollector {
     current_phase: AtomicU8,
-    phase_wall_nanos: [AtomicU64; 4],
-    phase_busy_nanos: [AtomicU64; 4],
-    phase_overlap_nanos: [AtomicU64; 4],
-    phase_units: [AtomicU64; 4],
+    phase_wall_nanos: [AtomicU64; PHASE_COUNT],
+    phase_busy_nanos: [AtomicU64; PHASE_COUNT],
+    phase_overlap_nanos: [AtomicU64; PHASE_COUNT],
+    phase_units: [AtomicU64; PHASE_COUNT],
     threads: AtomicUsize,
     rows_in: AtomicU64,
     rows_out: AtomicU64,
@@ -283,6 +345,9 @@ pub struct ProfileCollector {
     evictions: AtomicU64,
     readahead_hits: AtomicU64,
     readahead_misses: AtomicU64,
+    sorted_runs: AtomicU64,
+    merge_fanin: AtomicU64,
+    partition_merges: Mutex<Vec<PartitionMergeProfile>>,
     strategy: Mutex<String>,
     /// Dense worker-id allocator; ids are per-query, assigned at first use.
     next_worker: AtomicUsize,
@@ -412,6 +477,25 @@ impl ProfileCollector {
         self.partitions_external.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Worker: count sorted runs produced by a run-sort (phase-1 spill-tail
+    /// sorting of the hybrid hash/sort path).
+    pub fn add_sorted_runs(&self, n: u64) {
+        self.sorted_runs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Worker: record the phase-2 chooser's decision for one partition
+    /// (`strategy` is `"hash"` or `"sorted_merge"`). Keeps the running
+    /// maximum merge fan-in alongside the per-partition records.
+    pub fn record_partition_merge(&self, partition: usize, strategy: &str, runs: u64, fanin: u64) {
+        self.merge_fanin.fetch_max(fanin, Ordering::Relaxed);
+        self.partition_merges.lock().push(PartitionMergeProfile {
+            partition,
+            strategy: strategy.to_string(),
+            sorted_runs: runs,
+            merge_fanin: fanin,
+        });
+    }
+
     /// Coordinator: record the buffer-layer ground truth for the query
     /// (deltas of the manager's spill/eviction counters over the run).
     pub fn set_spill_io(&self, written: u64, read: u64, retries: u64, evictions: u64) {
@@ -430,7 +514,7 @@ impl ProfileCollector {
 
     /// Freeze the collected values into an immutable [`QueryProfile`].
     pub fn finish(&self, operator: impl Into<String>, wall: Duration) -> QueryProfile {
-        let mut phases = [PhaseProfile::default(); 4];
+        let mut phases = [PhaseProfile::default(); PHASE_COUNT];
         for (i, p) in phases.iter_mut().enumerate() {
             p.wall = Duration::from_nanos(self.phase_wall_nanos[i].load(Ordering::Relaxed));
             p.busy = Duration::from_nanos(self.phase_busy_nanos[i].load(Ordering::Relaxed));
@@ -439,6 +523,8 @@ impl ProfileCollector {
         }
         let mut workers = self.workers.lock().clone();
         workers.sort_by_key(|w| w.worker);
+        let mut partition_merges = self.partition_merges.lock().clone();
+        partition_merges.sort_by_key(|m| m.partition);
         QueryProfile {
             operator: operator.into(),
             threads: self.threads.load(Ordering::Relaxed),
@@ -452,6 +538,9 @@ impl ProfileCollector {
             ht_resets: self.ht_resets.load(Ordering::Relaxed),
             partitions: self.partitions.load(Ordering::Relaxed),
             partitions_external: self.partitions_external.load(Ordering::Relaxed),
+            sorted_runs: self.sorted_runs.load(Ordering::Relaxed),
+            merge_fanin: self.merge_fanin.load(Ordering::Relaxed),
+            partition_merges,
             spill_bytes_written: self.spill_bytes_written.load(Ordering::Relaxed),
             spill_bytes_read: self.spill_bytes_read.load(Ordering::Relaxed),
             spill_retries: self.spill_retries.load(Ordering::Relaxed),
@@ -595,6 +684,48 @@ mod tests {
         assert!(
             report.contains("worker 0  busy 0.011s  morsels 4  chunks 42  ht_resets 4"),
             "{report}"
+        );
+    }
+
+    #[test]
+    fn render_orders_phases_and_shows_partition_strategies() {
+        let c = ProfileCollector::new();
+        // Touch phases out of pipeline order: render must still print them
+        // probe → partition → sort → merge → finalize.
+        c.add_busy_to(Phase::Merge, Duration::from_millis(3));
+        c.add_busy_to(Phase::Sort, Duration::from_millis(1));
+        c.add_busy_to(Phase::Probe, Duration::from_millis(2));
+        c.add_sorted_runs(5);
+        c.record_partition_merge(3, "sorted_merge", 3, 3);
+        c.record_partition_merge(1, "hash", 0, 0);
+        let p = c.finish("x", Duration::ZERO);
+        assert_eq!(p.sorted_runs, 5);
+        assert_eq!(p.merge_fanin, 3);
+        assert_eq!(p.partition_merges.len(), 2);
+        assert_eq!(p.partition_merges[0].partition, 1, "sorted by partition");
+        let r = p.render();
+        let positions: Vec<usize> = [
+            "phase 1 · probe",
+            "partition/spill",
+            "run sort",
+            "phase 2 · merge",
+            "finalize/emit",
+        ]
+        .iter()
+        .map(|n| {
+            r.find(n)
+                .unwrap_or_else(|| panic!("missing {n:?} in:\n{r}"))
+        })
+        .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "phase rows out of order:\n{r}"
+        );
+        assert!(r.contains("sorted_runs 5  merge_fanin 3"), "{r}");
+        assert!(r.contains("strategies  hash 1  sorted_merge 1"), "{r}");
+        assert!(
+            r.contains("partition 3  sorted_merge  runs 3  fanin 3"),
+            "{r}"
         );
     }
 

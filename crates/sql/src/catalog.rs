@@ -46,6 +46,13 @@ pub struct CatalogTable {
     pub schema: Vec<LogicalType>,
     /// The rows.
     pub data: TableData,
+    /// Column indices the rows are declared sorted by (lexicographic, via
+    /// [`Catalog::declare_sorted`]); empty when unknown. A grouped query
+    /// whose keys cover a prefix of this list takes the aggregation's
+    /// sorted-input fast path. The declaration is a performance hint, not a
+    /// constraint — an unsorted table declared sorted still aggregates
+    /// correctly, just without the fast path's benefit.
+    pub sorted_by: Vec<usize>,
 }
 
 impl CatalogTable {
@@ -107,8 +114,37 @@ impl Catalog {
                 columns,
                 schema,
                 data,
+                sorted_by: Vec::new(),
             }),
         );
+        Ok(())
+    }
+
+    /// Declare that `name`'s rows are sorted by `columns` (lexicographic,
+    /// case-insensitive names). Overwrites any previous declaration; an
+    /// empty list clears it. See [`CatalogTable::sorted_by`].
+    pub fn declare_sorted(&mut self, name: &str, columns: &[&str]) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let Some(table) = self.tables.get(&key) else {
+            return Err(Error::InvalidInput(format!("unknown table {name}")));
+        };
+        let mut sorted_by = Vec::with_capacity(columns.len());
+        for c in columns {
+            let Some(i) = table.column_index(c) else {
+                return Err(Error::InvalidInput(format!(
+                    "table {name}: unknown sort column {c}"
+                )));
+            };
+            if sorted_by.contains(&i) {
+                return Err(Error::InvalidInput(format!(
+                    "table {name}: duplicate sort column {c}"
+                )));
+            }
+            sorted_by.push(i);
+        }
+        let mut t = (**table).clone();
+        t.sorted_by = sorted_by;
+        self.tables.insert(key, Arc::new(t));
         Ok(())
     }
 

@@ -18,7 +18,7 @@ use crate::plan::{PhysicalPlan, Predicate};
 use rexa_buffer::{BufferManager, BufferStats};
 use rexa_core::{
     hash_aggregate_streaming_ctx, hash_join_streaming, ungrouped_aggregate, AggregateConfig,
-    JoinConfig, JoinStats, RunStats,
+    JoinConfig, JoinStats, RunStats, SortedInput,
 };
 use rexa_exec::pipeline::{CancelToken, ChunkReader, ChunkSource, CollectionSource};
 use rexa_exec::pool::ExecContext;
@@ -160,15 +160,25 @@ pub fn execute_streaming(
         }
     };
     let run = match &plan.aggregate {
-        Some(agg) if !agg.group_cols.is_empty() => hash_aggregate_streaming_ctx(
-            mgr,
-            input_src,
-            &plan.input_schema,
-            agg,
-            config,
-            ctx,
-            &postprocess,
-        )?,
+        Some(agg) if !agg.group_cols.is_empty() => {
+            // Promote the planner's sorted-input verdict into the config:
+            // a declared-sorted scan skips the sortedness sampling and
+            // starts on the in-stream fast path immediately. An explicit
+            // `Unsorted` (or `Sorted`) in the caller's config wins.
+            let mut agg_config = config.clone();
+            if plan.input_sorted && agg_config.sorted_input == SortedInput::Detect {
+                agg_config.sorted_input = SortedInput::Sorted;
+            }
+            hash_aggregate_streaming_ctx(
+                mgr,
+                input_src,
+                &plan.input_schema,
+                agg,
+                &agg_config,
+                ctx,
+                &postprocess,
+            )?
+        }
         Some(agg) => {
             // Global aggregate (no GROUP BY): one output row.
             let t0 = Instant::now();
@@ -322,6 +332,11 @@ impl ChunkSource for FilterSource<'_> {
     fn total_rows(&self) -> Option<usize> {
         // Upper bound (pre-filter); used only for sizing hints.
         self.inner.total_rows()
+    }
+
+    fn sorted_by(&self) -> Option<&[usize]> {
+        // Filtering preserves row order.
+        self.inner.sorted_by()
     }
 }
 

@@ -153,6 +153,12 @@ pub struct PhysicalPlan {
     pub order_by: Vec<SortKey>,
     /// `LIMIT`.
     pub limit: Option<usize>,
+    /// The aggregation's input arrives grouped: the scanned table was
+    /// declared sorted ([`Catalog::declare_sorted`]) and the grouping keys
+    /// cover a prefix of its sort columns (order-preserving steps — WHERE —
+    /// in between are fine; a JOIN is not). Execution asserts the
+    /// sorted-input fast path instead of sampling.
+    pub input_sorted: bool,
 }
 
 impl PhysicalPlan {
@@ -202,9 +208,14 @@ impl PhysicalPlan {
         if let Some(agg) = &self.aggregate {
             line(
                 format!(
-                    "HASH_AGGREGATE groups={} aggregates={}",
+                    "HASH_AGGREGATE groups={} aggregates={}{}",
                     agg.group_cols.len(),
-                    agg.aggregates.len()
+                    agg.aggregates.len(),
+                    if self.input_sorted {
+                        " input=sorted"
+                    } else {
+                        ""
+                    }
                 ),
                 &mut indent,
             );
@@ -416,6 +427,23 @@ pub fn bind(query: &Query, catalog: &Catalog) -> Result<PhysicalPlan, SqlError> 
 
     let limit = query.limit.map(|l| l.n as usize);
 
+    // Sorted-input detection: grouping keys covering a prefix of the
+    // scanned table's declared sort columns arrive grouped (equal key
+    // tuples are adjacent — any permutation of a sorted prefix groups
+    // contiguously). A WHERE filter preserves row order; a JOIN does not
+    // guarantee it, so joined inputs never claim sortedness.
+    let input_sorted = match &aggregate {
+        Some(agg) if join.is_none() && !agg.group_cols.is_empty() => {
+            let sorted = &left.sorted_by;
+            agg.group_cols.len() <= sorted.len()
+                && agg
+                    .group_cols
+                    .iter()
+                    .all(|c| sorted[..agg.group_cols.len()].contains(c))
+        }
+        _ => false,
+    };
+
     Ok(PhysicalPlan {
         left,
         join,
@@ -429,6 +457,7 @@ pub fn bind(query: &Query, catalog: &Catalog) -> Result<PhysicalPlan, SqlError> 
         output_types,
         order_by,
         limit,
+        input_sorted,
     })
 }
 

@@ -11,11 +11,12 @@ use rexa_core::baselines::sort_aggregate;
 use rexa_core::simple::{reference_aggregate, sorted_rows};
 use rexa_core::{
     hash_aggregate_collect, AggregateConfig, AggregateSpec, HashAggregatePlan, KernelMode,
-    Phase1Strategy,
+    Phase1Strategy, Phase2Strategy, SortedInput,
 };
 use rexa_exec::pipeline::{CancelToken, CollectionSource};
 use rexa_exec::{ChunkCollection, DataChunk, LogicalType, Value, VECTOR_SIZE};
 use rexa_storage::scratch_dir;
+use rexa_storage::{FaultInjector, FaultKind, FaultRule, IoBackend, IoOp, Schedule};
 use std::sync::Arc;
 
 /// A value generator for one column type with a bounded key domain (small
@@ -308,6 +309,239 @@ proptest! {
         prop_assert!(rows_approx_eq(&got, &want), "groups differ: got {} want {}", got.len(), want.len());
         prop_assert_eq!(stats.groups, want.len());
     }
+}
+
+/// Order the case's rows by their group-key columns (`total_cmp`, NULLs
+/// grouped), turning an arbitrary case into a sorted-input case for the
+/// in-stream / sorted-merge differential tests.
+fn sort_rows_by_group(case: &mut Case) {
+    let cols = case.group_cols.clone();
+    case.rows.sort_by(|a, b| {
+        for &c in &cols {
+            let o = a[c].total_cmp(&b[c]);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The forced in-stream fast path (`SortedInput::Sorted`) on sorted
+    /// input must be *bit-identical* to the scalar hash oracle at
+    /// `threads: 1`, in both kernel modes: with one worker and no epoch
+    /// seals each group is one contiguous run, so the accumulation sequence
+    /// — including float summation order — is exactly the hash path's.
+    #[test]
+    fn forced_instream_bit_identical_to_scalar_oracle(case in case_strategy()) {
+        let mut case = case;
+        sort_rows_by_group(&mut case);
+        let coll = build_collection(&case);
+        let aggregates = aggregates_for(&case);
+        let plan = HashAggregatePlan {
+            group_cols: case.group_cols.clone(),
+            aggregates,
+        };
+        // Generous limit: the comparison must not be cut short by OOM, and
+        // spilling behaviour has its own test below.
+        let mgr = BufferManager::new(
+            BufferManagerConfig::with_limit(64 << 20)
+                .page_size(4 << 10)
+                .temp_dir(scratch_dir("instream-bits").unwrap()),
+        )
+        .unwrap();
+        let run = |sorted: SortedInput, mode: KernelMode| {
+            let config = AggregateConfig {
+                threads: 1,
+                radix_bits: Some(case.radix_bits),
+                ht_capacity: 4 * VECTOR_SIZE,
+                output_chunk_size: 777,
+                reset_fill_percent: 66,
+                kernel_mode: mode,
+                sorted_input: sorted,
+                ..Default::default()
+            };
+            let source = CollectionSource::new(&coll);
+            let (out, stats) =
+                hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+            (sorted_rows(out.chunks()), stats.groups, stats.profile.strategy)
+        };
+        let (oracle, oracle_groups, _) = run(SortedInput::Unsorted, KernelMode::Scalar);
+        for mode in [KernelMode::Scalar, KernelMode::Vectorized] {
+            let (got, groups, strategy) = run(SortedInput::Sorted, mode);
+            prop_assert_eq!(groups, oracle_groups, "{:?}", mode);
+            prop_assert!(
+                rows_bits_eq(&got, &oracle),
+                "{mode:?} in-stream diverges from scalar oracle: {} vs {} rows",
+                got.len(),
+                oracle.len()
+            );
+            // The run actually took the in-stream path, not the hash path.
+            prop_assert_eq!(strategy, "instream");
+        }
+    }
+
+    /// Sorted input under the forced `SortedMerge` phase 2, across thread
+    /// counts and under the case's (possibly spilling) memory limit: same
+    /// groups as the reference model, float-tolerant (multi-thread combine
+    /// order is scheduling-dependent), and never any residue — including
+    /// when the layout has var-length columns or spill health forces the
+    /// per-partition chooser back onto the hash path.
+    #[test]
+    fn sorted_merge_matches_reference_model(case in case_strategy()) {
+        let mut case = case;
+        sort_rows_by_group(&mut case);
+        let coll = build_collection(&case);
+        let aggregates = aggregates_for(&case);
+        let plan = HashAggregatePlan {
+            group_cols: case.group_cols.clone(),
+            aggregates: aggregates.clone(),
+        };
+        let source = CollectionSource::new(&coll);
+        let want = reference_aggregate(&source, coll.types(), &plan.group_cols, &aggregates).unwrap();
+        for threads in [1usize, 2, 4] {
+            let mgr = BufferManager::new(
+                BufferManagerConfig::with_limit(case.limit_kib << 10)
+                    .page_size(4 << 10)
+                    .temp_dir(scratch_dir("sorted-merge").unwrap()),
+            )
+            .unwrap();
+            let config = AggregateConfig {
+                threads,
+                radix_bits: Some(case.radix_bits),
+                ht_capacity: 4 * VECTOR_SIZE,
+                output_chunk_size: 777,
+                reset_fill_percent: 66,
+                sorted_input: SortedInput::Sorted,
+                phase2_strategy: Phase2Strategy::SortedMerge,
+                ..Default::default()
+            };
+            let source = CollectionSource::new(&coll);
+            let result = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config);
+            match result {
+                Ok((out, stats)) => {
+                    let got = sorted_rows(out.chunks());
+                    prop_assert!(
+                        rows_approx_eq(&got, &want),
+                        "threads={threads}: got {} want {}",
+                        got.len(),
+                        want.len()
+                    );
+                    prop_assert_eq!(stats.groups, want.len());
+                }
+                Err(e) if e.is_oom() => {}
+                Err(e) => prop_assert!(false, "threads={threads}: unexpected error: {e}"),
+            }
+            prop_assert_eq!(mgr.stats().temporary_resident, 0);
+            prop_assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
+        }
+    }
+}
+
+/// Chaos: a sorted-run spill whose very first write hits an injected
+/// transient fault mid-run-write. The write is retried and succeeds, but
+/// the retry marks spill health dirty, so the per-partition chooser must
+/// degrade every partition to the hash path — the query still succeeds
+/// with correct results and no residue. The degradation must not poison
+/// the manager: a second, fault-free run of the same query on the same
+/// manager goes back to merging sorted runs.
+#[test]
+fn sorted_run_spill_fault_degrades_to_hash_without_poisoning() {
+    let injector = Arc::new(FaultInjector::new(0x50F7).rule(FaultRule::on(
+        IoOp::Write,
+        Schedule::Nth(0),
+        FaultKind::Transient,
+    )));
+    let mgr = BufferManager::new(
+        BufferManagerConfig::with_limit(1536 << 10)
+            .page_size(4 << 10)
+            .temp_dir(scratch_dir("run-fault").unwrap())
+            .io_backend(Arc::clone(&injector) as Arc<dyn IoBackend>)
+            .spill_backoff(std::time::Duration::from_micros(200)),
+    )
+    .unwrap();
+    let plan = HashAggregatePlan {
+        group_cols: vec![0],
+        aggregates: vec![
+            AggregateSpec::count_star(),
+            AggregateSpec::sum(1),
+            AggregateSpec::min(1),
+            AggregateSpec::max(1),
+        ],
+    };
+    let config = AggregateConfig {
+        threads: 2,
+        radix_bits: Some(5),
+        ht_capacity: 4 * VECTOR_SIZE,
+        sorted_input: SortedInput::Sorted,
+        phase2_strategy: Phase2Strategy::SortedMerge,
+        ..Default::default()
+    };
+    // Sorted keys, ~4 rows per group, heapless layout: ~100k groups of
+    // intermediate state against a 1.5 MiB limit, so sorted-run spilling is
+    // mandatory and the first spilled page hits the fault.
+    let types = vec![LogicalType::Int64, LogicalType::Int64];
+    let mut coll = ChunkCollection::new(types.clone());
+    let rows: Vec<Vec<Value>> = (0..400_000i64)
+        .map(|i| vec![Value::Int64(i / 4), Value::Int64(i * 3)])
+        .collect();
+    for chunk_rows in rows.chunks(VECTOR_SIZE) {
+        let mut chunk = DataChunk::empty(&types);
+        for row in chunk_rows {
+            chunk.push_row(row).unwrap();
+        }
+        coll.push(chunk).unwrap();
+    }
+    let source = CollectionSource::new(&coll);
+    let want =
+        reference_aggregate(&source, coll.types(), &plan.group_cols, &plan.aggregates).unwrap();
+
+    let source = CollectionSource::new(&coll);
+    let (out, stats) = hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config)
+        .expect("a retried transient run-write fault must degrade, not fail");
+    assert!(injector.injected() > 0, "fault never fired");
+    assert!(
+        mgr.stats().spill_retries > 0,
+        "expected the transient fault to cost a spill retry"
+    );
+    assert_eq!(stats.groups, want.len());
+    assert_eq!(sorted_rows(out.chunks()), want);
+    assert!(
+        !stats.profile.partition_merges.is_empty(),
+        "no partitions merged"
+    );
+    assert!(
+        stats
+            .profile
+            .partition_merges
+            .iter()
+            .all(|p| p.strategy == "hash"),
+        "dirty spill health must degrade every partition to hash: {:?}",
+        stats.profile.partition_merges
+    );
+    assert_eq!(mgr.stats().temporary_resident, 0);
+    assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
+
+    // Non-poisoning: the one-shot fault is spent, and the retry baseline is
+    // per-query, so the same query on the same manager merges sorted runs.
+    let source = CollectionSource::new(&coll);
+    let (out2, stats2) =
+        hash_aggregate_collect(&mgr, &source, coll.types(), &plan, &config).unwrap();
+    assert_eq!(sorted_rows(out2.chunks()), want);
+    assert!(
+        stats2
+            .profile
+            .partition_merges
+            .iter()
+            .all(|p| p.strategy == "sorted_merge"),
+        "fault-free rerun must return to sorted-run merging: {:?}",
+        stats2.profile.partition_merges
+    );
+    assert_eq!(mgr.stats().temporary_resident, 0);
+    assert_eq!(mgr.stats().temp_bytes_on_disk, 0);
 }
 
 /// Number of proptest cases for the (more expensive) multi-thread sweep:
